@@ -1,0 +1,99 @@
+// Command gexp reproduces the paper's evaluation. It runs experiments by
+// id (one per table/figure of the paper) and prints the same rows and
+// series the paper reports, optionally side by side with the paper's
+// published values.
+//
+// Usage:
+//
+//	gexp -exp fig8c            # one experiment
+//	gexp -exp all -scale 2     # the whole evaluation
+//	gexp -list                 # show experiment ids
+//	gexp -exp table5 -paper    # include the paper's values
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"gpushare/internal/harness"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (fig1a..fig12b, table5..table8, hw) or 'all'")
+		scale   = flag.Int("scale", 2, "workload grid scale")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		verbose = flag.Bool("v", false, "print per-run progress")
+		verify  = flag.Bool("verify", false, "re-check functional outputs after every run")
+		paper   = flag.Bool("paper", false, "print the paper's reported values next to measured ones")
+		md      = flag.Bool("md", false, "emit GitHub-flavoured Markdown (with paper values when -paper)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(harness.IDs(), "\n"))
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "gexp: -exp is required (use -list to see ids)")
+		os.Exit(2)
+	}
+
+	s := harness.NewSession(*scale)
+	s.Verify = *verify
+	if *verbose {
+		s.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = harness.IDs()
+	}
+	for _, id := range ids {
+		tab, err := s.Experiment(id)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gexp: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *md {
+			var ref harness.PaperRef
+			if *paper {
+				ref = harness.PaperRefs[id]
+			}
+			fmt.Print(tab.Markdown(ref))
+			continue
+		}
+		fmt.Print(tab.Format())
+		if *paper {
+			printPaper(id, tab)
+		}
+		fmt.Println()
+	}
+}
+
+func printPaper(id string, tab *harness.Table) {
+	ref, ok := harness.PaperRefs[id]
+	if !ok {
+		fmt.Println("(no paper-quoted values for this experiment)")
+		return
+	}
+	fmt.Println("paper-reported values:")
+	for _, row := range tab.Rows {
+		cells, ok := ref[row.Name]
+		if !ok {
+			continue
+		}
+		fmt.Printf("  %-12s", row.Name)
+		for _, col := range tab.Columns {
+			if v, ok := cells[col]; ok {
+				fmt.Printf("  %s=%.2f", col, v)
+			}
+		}
+		fmt.Println()
+	}
+	if note := harness.PaperNotes[id]; note != "" {
+		fmt.Printf("  note: %s\n", note)
+	}
+}

@@ -1,0 +1,102 @@
+// Command gsim runs a single benchmark workload on the simulated GPU and
+// prints its statistics report.
+//
+// Usage:
+//
+//	gsim -workload hotspot
+//	gsim -workload lavaMD -sharing scratchpad -t 0.1 -sched OWF
+//	gsim -workload MUM -sharing registers -unroll -dyn -sched OWF -v
+//	gsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"gpushare/internal/config"
+	"gpushare/internal/gpu"
+	"gpushare/internal/workloads"
+)
+
+func main() {
+	var (
+		name    = flag.String("workload", "", "benchmark name (see -list)")
+		list    = flag.Bool("list", false, "list workloads and exit")
+		schedS  = flag.String("sched", "LRR", "warp scheduler: LRR, GTO, TwoLevel, OWF")
+		shareS  = flag.String("sharing", "none", "sharing mode: none, registers, scratchpad")
+		t       = flag.Float64("t", 0.1, "sharing threshold t (sharing %% = (1-t)*100)")
+		unroll  = flag.Bool("unroll", false, "enable register declaration unrolling (§IV-B)")
+		dyn     = flag.Bool("dyn", false, "enable dynamic warp execution (§IV-C)")
+		release = flag.Bool("earlyrelease", false, "enable early shared-register release (§VIII ext.)")
+		l1pol   = flag.String("l1policy", "LRU", "L1 replacement policy: LRU, FIFO, Rand")
+		trace   = flag.Int64("trace", 0, "emit a progress snapshot every N cycles")
+		scale   = flag.Int("scale", 1, "workload grid scale")
+		verify  = flag.Bool("verify", true, "check functional outputs after the run")
+		showOcc = flag.Bool("occupancy", false, "print the occupancy plan and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range workloads.All() {
+			fmt.Printf("%-10s set-%d %-10s %-32s block=%d regs=%d smem=%d\n",
+				s.Name, s.Set, s.Suite, s.Kernel, s.BlockDim, s.RegsPerThread, s.SmemPerBlock)
+		}
+		return
+	}
+	if *name == "" {
+		fmt.Fprintln(os.Stderr, "gsim: -workload is required (use -list)")
+		os.Exit(2)
+	}
+	spec, err := workloads.ByName(*name)
+	fatal(err)
+
+	cfg := config.Default()
+	cfg.Sched, err = config.ParsePolicy(*schedS)
+	fatal(err)
+	cfg.Sharing, err = config.ParseSharing(*shareS)
+	fatal(err)
+	cfg.T = *t
+	cfg.UnrollRegs = *unroll
+	cfg.DynWarp = *dyn
+	cfg.EarlyRegRelease = *release
+	cfg.L1Policy, err = config.ParseCachePolicy(*l1pol)
+	fatal(err)
+	cfg.TraceInterval = *trace
+
+	sim, err := gpu.New(cfg)
+	fatal(err)
+	if *trace > 0 {
+		sim.Trace = os.Stderr
+	}
+	inst := spec.Build(*scale)
+
+	if *showOcc {
+		fmt.Println(sim.Occupancy(inst.Launch.Kernel))
+		return
+	}
+
+	inst.Setup(sim.Mem)
+	fmt.Printf("running %s (%s / %s), grid %d x %d threads, %s\n",
+		spec.Name, spec.Suite, spec.Kernel, inst.Launch.GridDim, spec.BlockDim, cfg.String())
+	fmt.Printf("occupancy: %s\n\n", sim.Occupancy(inst.Launch.Kernel))
+
+	g, err := sim.Run(inst.Launch)
+	fatal(err)
+	fmt.Print(g.Report())
+
+	if *verify && inst.Check != nil {
+		if err := inst.Check(sim.Mem); err != nil {
+			fmt.Fprintf(os.Stderr, "gsim: FUNCTIONAL CHECK FAILED: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("functional check: ok")
+	}
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gsim:", err)
+		os.Exit(1)
+	}
+}

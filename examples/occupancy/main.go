@@ -1,0 +1,52 @@
+// Occupancy explorer: evaluates the paper's Eq. 4 for every benchmark
+// across the sharing-percentage sweep of Tables VI and VIII, entirely
+// analytically (no simulation) — the resident-block counts match the
+// paper's tables exactly.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpushare"
+)
+
+func main() {
+	percents := []int{0, 10, 30, 50, 70, 90}
+	fmt.Printf("%-10s %-10s", "workload", "limiter")
+	for _, p := range percents {
+		fmt.Printf(" %4d%%", p)
+	}
+	fmt.Println()
+
+	for _, spec := range gpushare.Workloads() {
+		inst := spec.Build(1)
+		k := inst.Launch.Kernel
+
+		cfg := gpushare.DefaultConfig()
+		sim, err := gpushare.NewSimulator(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		base := sim.Occupancy(k)
+
+		fmt.Printf("%-10s %-10s", spec.Name, base.Limiter)
+		for _, p := range percents {
+			c := gpushare.DefaultConfig()
+			if spec.Set == 2 {
+				c.Sharing = gpushare.ShareScratchpad
+			} else {
+				c.Sharing = gpushare.ShareRegisters
+			}
+			c.T = 1 - float64(p)/100
+			s2, err := gpushare.NewSimulator(c)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf(" %5d", s2.Occupancy(k).Max)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nSet-1/Set-3 rows use register sharing, Set-2 rows scratchpad sharing;")
+	fmt.Println("compare the Set-1 and Set-2 rows with Tables VI and VIII of the paper.")
+}

@@ -1,0 +1,194 @@
+// Package gpushare is a cycle-level GPU simulator with SM resource
+// sharing, reproducing "Improving GPU Performance Through Resource
+// Sharing" (Jatala, Anantpur, Karkare — HPDC 2016).
+//
+// The simulator models a GPGPU-Sim-style GPU — SMs with dual warp
+// schedulers and scoreboarded in-order issue, SIMT reconvergence stacks,
+// per-SM L1 data caches, a partitioned L2, and FR-FCFS GDDR3 DRAM — and
+// implements the paper's contribution on top: launching extra thread
+// blocks per SM by letting pairs of blocks share the register file or
+// the scratchpad, plus the three supporting optimizations (owner-warp-
+// first scheduling, register-declaration unrolling, and dynamic warp
+// execution).
+//
+// # Quick start
+//
+//	cfg := gpushare.DefaultConfig()
+//	cfg.Sharing = gpushare.ShareRegisters
+//	cfg.Sched = gpushare.SchedOWF
+//	sim, err := gpushare.NewSimulator(cfg)
+//	...
+//	spec, _ := gpushare.WorkloadByName("hotspot")
+//	inst := spec.Build(1)
+//	inst.Setup(sim.Mem)
+//	stats, err := sim.Run(inst.Launch)
+//	fmt.Printf("IPC %.1f\n", stats.IPC())
+//
+// Custom kernels are written with the kernel builder (NewKernel) or
+// assembled from text (ParseAssembly); see examples/ for complete
+// programs and cmd/gexp for the paper's full evaluation.
+package gpushare
+
+import (
+	"gpushare/internal/asm"
+	"gpushare/internal/config"
+	"gpushare/internal/core"
+	"gpushare/internal/gpu"
+	"gpushare/internal/harness"
+	"gpushare/internal/hw"
+	"gpushare/internal/isa"
+	"gpushare/internal/kernel"
+	"gpushare/internal/mem"
+	"gpushare/internal/opt/unroll"
+	"gpushare/internal/stats"
+	"gpushare/internal/workloads"
+)
+
+// Configuration.
+type (
+	// Config is the full GPU configuration; DefaultConfig reproduces
+	// Table I of the paper.
+	Config = config.Config
+	// SchedPolicy selects the warp scheduler.
+	SchedPolicy = config.SchedPolicy
+	// SharingMode selects which resource thread-block pairs share.
+	SharingMode = config.SharingMode
+)
+
+// Scheduling policies.
+const (
+	SchedLRR      = config.SchedLRR
+	SchedGTO      = config.SchedGTO
+	SchedTwoLevel = config.SchedTwoLevel
+	SchedOWF      = config.SchedOWF
+)
+
+// Sharing modes.
+const (
+	ShareNone       = config.ShareNone
+	ShareRegisters  = config.ShareRegisters
+	ShareScratchpad = config.ShareScratchpad
+)
+
+// DefaultConfig returns the paper's Table I baseline configuration.
+func DefaultConfig() Config { return config.Default() }
+
+// Simulation.
+type (
+	// Simulator owns a GPU instance and its global memory.
+	Simulator = gpu.Sim
+	// GlobalMem is the functional global-memory backing store.
+	GlobalMem = mem.Global
+	// Stats aggregates one run's counters (IPC, stalls, caches, ...).
+	Stats = stats.GPU
+	// Occupancy is the per-SM thread-block occupancy plan, including
+	// the paper's Eq. 4 sharing extension.
+	Occupancy = core.Occupancy
+)
+
+// NewSimulator builds a simulator for the configuration.
+func NewSimulator(cfg Config) (*Simulator, error) { return gpu.New(cfg) }
+
+// Kernels.
+type (
+	// Kernel is a compiled GPU kernel.
+	Kernel = kernel.Kernel
+	// KernelBuilder assembles kernels programmatically.
+	KernelBuilder = kernel.Builder
+	// Launch pairs a kernel with its grid size and arguments.
+	Launch = kernel.Launch
+	// Operand is an instruction operand (register, immediate, special).
+	Operand = isa.Operand
+)
+
+// NewKernel returns a builder for a kernel with the given name and
+// threads per block.
+func NewKernel(name string, blockDim int) *KernelBuilder {
+	return kernel.NewBuilder(name, blockDim)
+}
+
+// Operand constructors, re-exported from the ISA.
+var (
+	Reg  = isa.Reg
+	Imm  = isa.Imm
+	ImmF = isa.ImmF
+	Pred = isa.Pred
+	Sreg = isa.Sreg
+)
+
+// Special registers.
+const (
+	SrTid     = isa.SrTid
+	SrCtaid   = isa.SrCtaid
+	SrNtid    = isa.SrNtid
+	SrNctaid  = isa.SrNctaid
+	SrLane    = isa.SrLane
+	SrTidY    = isa.SrTidY
+	SrCtaidY  = isa.SrCtaidY
+	SrNtidY   = isa.SrNtidY
+	SrNctaidY = isa.SrNctaidY
+)
+
+// Comparison operators for KernelBuilder.Setp.
+const (
+	CmpEQ  = isa.CmpEQ
+	CmpNE  = isa.CmpNE
+	CmpLT  = isa.CmpLT
+	CmpLE  = isa.CmpLE
+	CmpGT  = isa.CmpGT
+	CmpGE  = isa.CmpGE
+	CmpLTU = isa.CmpLTU
+	CmpGEU = isa.CmpGEU
+	CmpFLT = isa.CmpFLT
+	CmpFGE = isa.CmpFGE
+)
+
+// ParseAssembly assembles a PTXPlus-flavoured text kernel.
+func ParseAssembly(text string) (*Kernel, error) { return asm.Parse(text) }
+
+// PrintAssembly disassembles a kernel to round-trippable text.
+func PrintAssembly(k *Kernel) string { return asm.Print(k) }
+
+// UnrollRegisters applies the paper's register-declaration reordering
+// pass (§IV-B): registers are renumbered by first use so non-owner warps
+// run as long as possible before touching the shared register pool.
+func UnrollRegisters(k *Kernel) *Kernel { return unroll.Apply(k) }
+
+// Benchmarks.
+type (
+	// Workload describes one of the paper's 19 benchmark applications.
+	Workload = workloads.Spec
+	// WorkloadInstance is a runnable workload: launch + input setup +
+	// functional check.
+	WorkloadInstance = workloads.Instance
+)
+
+// Workloads returns the paper's 19 benchmark proxies in paper order.
+func Workloads() []*Workload { return workloads.All() }
+
+// WorkloadByName looks a benchmark up by its paper name ("hotspot",
+// "lavaMD", ...).
+func WorkloadByName(name string) (*Workload, error) { return workloads.ByName(name) }
+
+// Experiments.
+type (
+	// ExperimentSession runs the paper's experiments with memoized
+	// simulation results.
+	ExperimentSession = harness.Session
+	// ExperimentTable is one experiment's result in the paper's layout.
+	ExperimentTable = harness.Table
+)
+
+// NewExperimentSession returns a session at the given grid scale
+// (2 reproduces the repository's reference results; 1 is faster).
+func NewExperimentSession(scale int) *ExperimentSession { return harness.NewSession(scale) }
+
+// ExperimentIDs lists the available experiments (fig1a..fig12b,
+// table5..table8, hw), one per table or figure in the paper.
+func ExperimentIDs() []string { return harness.IDs() }
+
+// HardwareOverhead computes the Section V storage cost of both sharing
+// mechanisms for a configuration.
+func HardwareOverhead(cfg *Config) (register, scratchpad hw.Overhead) {
+	return hw.ForConfig(cfg)
+}

@@ -1,0 +1,97 @@
+package gpushare_test
+
+import (
+	"strings"
+	"testing"
+
+	"gpushare"
+)
+
+// TestPublicAPIEndToEnd exercises the facade exactly as README's
+// quick-start does: configure, build a kernel, run, inspect stats.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	b := gpushare.NewKernel("inc", 64)
+	b.Params(1)
+	b.IMad(0, gpushare.Sreg(gpushare.SrCtaid), gpushare.Sreg(gpushare.SrNtid), gpushare.Sreg(gpushare.SrTid))
+	b.Shl(1, gpushare.Reg(0), gpushare.Imm(2))
+	b.LdParam(2, 0)
+	b.IAdd(2, gpushare.Reg(2), gpushare.Reg(1))
+	b.LdG(3, gpushare.Reg(2), 0)
+	b.IAdd(3, gpushare.Reg(3), gpushare.Imm(1))
+	b.StG(gpushare.Reg(2), 0, gpushare.Reg(3))
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sim, err := gpushare.NewSimulator(gpushare.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 64 * 28
+	addr := sim.Mem.Alloc(4 * n)
+	for i := 0; i < n; i++ {
+		sim.Mem.Store32(addr+uint32(4*i), uint32(i))
+	}
+	st, err := sim.Run(&gpushare.Launch{Kernel: k, GridDim: 28, Params: []uint32{addr}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if got := sim.Mem.Load32(addr + uint32(4*i)); got != uint32(i+1) {
+			t.Fatalf("elem %d = %d", i, got)
+		}
+	}
+	if st.IPC() <= 0 {
+		t.Error("no IPC")
+	}
+}
+
+func TestPublicAPIWorkloadsAndAssembly(t *testing.T) {
+	if got := len(gpushare.Workloads()); got != 19 {
+		t.Fatalf("%d workloads, want 19", got)
+	}
+	spec, err := gpushare.WorkloadByName("hotspot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := spec.Build(1).Launch.Kernel
+
+	text := gpushare.PrintAssembly(k)
+	if !strings.Contains(text, ".kernel calculate_temp") {
+		t.Errorf("assembly header missing:\n%.120s", text)
+	}
+	k2, err := gpushare.ParseAssembly(text)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	if k2.RegsPerThread != k.RegsPerThread {
+		t.Error("assembly round trip lost the register footprint")
+	}
+
+	u := gpushare.UnrollRegisters(k)
+	if u.RegsPerThread != k.RegsPerThread {
+		t.Error("unroll changed the footprint")
+	}
+
+	reg, smem := gpushare.HardwareOverhead(&[]gpushare.Config{gpushare.DefaultConfig()}[0])
+	if reg.PerSM != 273 || smem.PerSM != 93 {
+		t.Errorf("overheads = %d/%d bits", reg.PerSM, smem.PerSM)
+	}
+}
+
+func TestPublicAPIExperiments(t *testing.T) {
+	ids := gpushare.ExperimentIDs()
+	if len(ids) != 30 {
+		t.Fatalf("%d experiment ids", len(ids))
+	}
+	s := gpushare.NewExperimentSession(1)
+	tab, err := s.Experiment("table6")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tab.Cell("hotspot", "90%"); !ok || v != 6 {
+		t.Errorf("table6 hotspot@90%% = %v", v)
+	}
+}

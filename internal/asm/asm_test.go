@@ -1,0 +1,124 @@
+package asm
+
+import (
+	"fmt"
+	"testing"
+
+	"gpushare/internal/isa"
+	"gpushare/internal/kernel"
+	"gpushare/internal/workloads"
+)
+
+func TestParseBasic(t *testing.T) {
+	src := `
+.kernel saxpy
+.block 256
+.regs 8
+.params 3
+
+	imad r0, %ctaid, %ntid, %tid
+	shl r1, r0, 2
+	ld.param r2, [0]
+	iadd r2, r2, r1
+	ld.global r3, [r2+0]
+	fmul r3, r3, 1.5f
+	st.global [r2+0], r3
+	exit
+`
+	k, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if k.Name != "saxpy" || k.BlockDim != 256 || k.RegsPerThread != 8 || k.NumParams != 3 {
+		t.Fatalf("header mismatch: %+v", k)
+	}
+	if len(k.Instrs) != 8 {
+		t.Fatalf("got %d instructions, want 8", len(k.Instrs))
+	}
+	if k.Instrs[0].Op != isa.IMAD || k.Instrs[0].A.Spec != isa.SrCtaid {
+		t.Errorf("instr 0 wrong: %s", &k.Instrs[0])
+	}
+	if k.Instrs[5].B.Kind != isa.OpImm {
+		t.Errorf("float immediate not parsed: %s", &k.Instrs[5])
+	}
+}
+
+func TestParseControlFlow(t *testing.T) {
+	src := `
+.kernel loopy
+.block 32
+.regs 4
+
+	mov r0, 0
+loop:
+	iadd r0, r0, 1
+	setp.lt p0, r0, 10
+	@p0 bra loop, reconv done
+done:
+	exit
+`
+	k, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	bra := k.Instrs[3]
+	if bra.Op != isa.BRA || bra.Target != 1 || bra.Reconv != 4 {
+		t.Fatalf("branch wrong: %+v", bra)
+	}
+	if !bra.Guarded() || bra.GuardPred != 0 || bra.GuardNeg {
+		t.Fatalf("guard wrong: %+v", bra)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"unknown mnemonic", ".kernel k\n.block 32\n\tfrobnicate r0, r1, r2\n"},
+		{"undefined label", ".kernel k\n.block 32\n\tbra nowhere\n"},
+		{"bad operand", ".kernel k\n.block 32\n\tiadd r0, r1, q5\n"},
+		{"bad guard", ".kernel k\n.block 32\n\t@x0 exit\n"},
+		{"duplicate label", ".kernel k\n.block 32\nx:\nx:\n\texit\n"},
+		{"bad directive", ".kernel k\n.weird 1\n\texit\n"},
+		{"operand count", ".kernel k\n.block 32\n\tiadd r0, r1\n"},
+		{"bad memref", ".kernel k\n.block 32\n\tld.global r0, r1\n"},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: expected error", c.name)
+		}
+	}
+}
+
+// TestRoundTripWorkloads parses the printed form of every benchmark
+// kernel and checks the result is instruction-for-instruction identical.
+func TestRoundTripWorkloads(t *testing.T) {
+	for _, spec := range workloads.All() {
+		k := spec.Build(1).Launch.Kernel
+		text := Print(k)
+		k2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: reparse failed: %v\n%s", spec.Name, err, text)
+		}
+		if err := sameKernel(k, k2); err != nil {
+			t.Errorf("%s: round trip mismatch: %v", spec.Name, err)
+		}
+	}
+}
+
+func sameKernel(a, b *kernel.Kernel) error {
+	if a.Name != b.Name || a.BlockDim != b.BlockDim ||
+		a.RegsPerThread != b.RegsPerThread || a.SmemPerBlock != b.SmemPerBlock ||
+		a.NumParams != b.NumParams {
+		return errf("header: %v vs %v", a, b)
+	}
+	if len(a.Instrs) != len(b.Instrs) {
+		return errf("length %d vs %d", len(a.Instrs), len(b.Instrs))
+	}
+	for i := range a.Instrs {
+		if a.Instrs[i] != b.Instrs[i] {
+			return errf("pc %d: %s vs %s", i, &a.Instrs[i], &b.Instrs[i])
+		}
+	}
+	return nil
+}
+
+func errf(format string, args ...any) error { return fmt.Errorf(format, args...) }

@@ -1,0 +1,109 @@
+package config
+
+import "testing"
+
+// TestDefaultMatchesTableI pins the Table I architecture parameters.
+func TestDefaultMatchesTableI(t *testing.T) {
+	c := Default()
+	if c.NumSMs != 14 {
+		t.Errorf("NumSMs = %d (Table I: 14 clusters x 1 core)", c.NumSMs)
+	}
+	if c.MaxBlocksPerSM != 8 || c.MaxThreadsPerSM != 1536 {
+		t.Errorf("occupancy caps = %d/%d (Table I: 8 blocks, 1536 threads)",
+			c.MaxBlocksPerSM, c.MaxThreadsPerSM)
+	}
+	if c.RegsPerSM != 32768 || c.SmemPerSM != 16384 {
+		t.Errorf("resources = %d regs / %d B (Table I: 32768 / 16KB)",
+			c.RegsPerSM, c.SmemPerSM)
+	}
+	if c.NumSchedulers != 2 || c.Sched != SchedLRR {
+		t.Errorf("schedulers = %d %v (Table I: 2, LRR)", c.NumSchedulers, c.Sched)
+	}
+	if c.L1Sets*c.L1Ways*c.L1LineSz != 16384 {
+		t.Errorf("L1 = %d B (Table I: 16KB)", c.L1Sets*c.L1Ways*c.L1LineSz)
+	}
+	if c.L2Partitions*c.L2Sets*c.L2Ways*c.L1LineSz != 768*1024 {
+		t.Errorf("L2 = %d B (Table I: 768KB)", c.L2Partitions*c.L2Sets*c.L2Ways*c.L1LineSz)
+	}
+	dt := c.DRAMTiming
+	if dt.TRRD != 6 || dt.TWR != 12 || dt.TRCD != 12 || dt.TRAS != 28 ||
+		dt.TRP != 12 || dt.TRC != 40 || dt.TCL != 12 || dt.TCDLR != 5 {
+		t.Errorf("GDDR3 timings differ from Table I: %+v", dt)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	mutations := map[string]func(*Config){
+		"zero SMs":        func(c *Config) { c.NumSMs = 0 },
+		"zero blocks":     func(c *Config) { c.MaxBlocksPerSM = 0 },
+		"zero threads":    func(c *Config) { c.MaxThreadsPerSM = 0 },
+		"zero regs":       func(c *Config) { c.RegsPerSM = 0 },
+		"negative smem":   func(c *Config) { c.SmemPerSM = -1 },
+		"zero schedulers": func(c *Config) { c.NumSchedulers = 0 },
+		"zero latency":    func(c *Config) { c.SPLat = 0 },
+		"bad line size":   func(c *Config) { c.L1LineSz = 100 },
+		"zero banks":      func(c *Config) { c.SmemBanks = 0 },
+		"t too large":     func(c *Config) { c.Sharing = ShareRegisters; c.T = 1.5 },
+		"t zero":          func(c *Config) { c.Sharing = ShareScratchpad; c.T = 0 },
+		"dyn bad period":  func(c *Config) { c.DynWarp = true; c.DynPeriod = 0 },
+		"dyn bad step":    func(c *Config) { c.DynWarp = true; c.DynStep = 2 },
+		"neg launch lat":  func(c *Config) { c.CTALaunchLat = -1 },
+		"neg icnt":        func(c *Config) { c.IcntLat = -1 },
+		"zero L2":         func(c *Config) { c.L2Partitions = 0 },
+		"zero MSHRs":      func(c *Config) { c.L1MSHRs = 0 },
+		"zero DRAM banks": func(c *Config) { c.DRAMBanksPerPartition = 0 },
+	}
+	for name, mutate := range mutations {
+		c := Default()
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: validation passed", name)
+		}
+	}
+}
+
+func TestParsePolicyAndSharing(t *testing.T) {
+	for s, want := range map[string]SchedPolicy{
+		"LRR": SchedLRR, "gto": SchedGTO, "2lvl": SchedTwoLevel, "OWF": SchedOWF,
+	} {
+		got, err := ParsePolicy(s)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParsePolicy("bogus"); err == nil {
+		t.Error("bogus policy accepted")
+	}
+	for s, want := range map[string]SharingMode{
+		"none": ShareNone, "reg": ShareRegisters, "smem": ShareScratchpad,
+	} {
+		got, err := ParseSharing(s)
+		if err != nil || got != want {
+			t.Errorf("ParseSharing(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseSharing("bogus"); err == nil {
+		t.Error("bogus sharing accepted")
+	}
+	// Round trip through String for every policy.
+	for _, p := range []SchedPolicy{SchedLRR, SchedGTO, SchedTwoLevel, SchedOWF} {
+		if got, err := ParsePolicy(p.String()); err != nil || got != p {
+			t.Errorf("policy %v does not round-trip", p)
+		}
+	}
+}
+
+func TestSharingPercent(t *testing.T) {
+	c := Default()
+	if c.SharingPercent() != 0 {
+		t.Error("no sharing must report 0%")
+	}
+	c.Sharing = ShareRegisters
+	c.T = 0.1
+	if got := c.SharingPercent(); got < 89.99 || got > 90.01 {
+		t.Errorf("t=0.1 -> %v%%, want 90%%", got)
+	}
+}

@@ -1,0 +1,273 @@
+package core
+
+import (
+	"fmt"
+
+	"gpushare/internal/config"
+	"gpushare/internal/isa"
+	"gpushare/internal/kernel"
+)
+
+// Category classifies a warp for the OWF scheduler (§IV-A) and the
+// dynamic-warp-execution gate (§IV-C).
+type Category uint8
+
+// Warp categories in OWF priority order (highest first).
+const (
+	CatOwner    Category = iota // warp of the pair's owner block
+	CatUnshared                 // warp of an unshared block (or pair with no owner yet)
+	CatNonOwner                 // warp of the pair's non-owner block
+)
+
+func (c Category) String() string {
+	switch c {
+	case CatOwner:
+		return "owner"
+	case CatUnshared:
+		return "unshared"
+	case CatNonOwner:
+		return "non-owner"
+	}
+	return fmt.Sprintf("Category(%d)", uint8(c))
+}
+
+const noSide = -1
+
+// Pair is the sharing state of one pair of block slots on an SM.
+type Pair struct {
+	Slots [2]int // hardware block slots of the two sides
+
+	// Owner is the side (0/1) currently owning the shared resources, or
+	// noSide before any shared access. The owner's warps have priority
+	// under OWF and are never gated by dynamic warp execution.
+	Owner int8
+
+	// Register sharing state: one lock per warp pair (warp i of side 0
+	// with warp i of side 1). warpLocks[i] is noSide when free,
+	// otherwise the side holding it. activeLocks counts live locks per
+	// side — the deadlock-avoidance rule of Fig. 5 consults it.
+	warpLocks   []int8
+	activeLocks [2]int
+
+	// Scratchpad sharing state: one lock per pair, held by a side until
+	// that side's block finishes.
+	smemLock int8
+}
+
+// Manager tracks the sharing state of one SM: which block slots form
+// pairs, per-pair lock state, and the private/shared split points.
+type Manager struct {
+	Mode config.SharingMode
+
+	// PrivateRegs: register indices < PrivateRegs are private to each
+	// shared warp; >= are in the shared pool (Fig. 3).
+	PrivateRegs int
+	// PrivateSmem: scratchpad byte addresses < PrivateSmem are private
+	// to each shared block; >= are in the shared pool (Fig. 4).
+	PrivateSmem int
+
+	pairs      []*Pair
+	pairOfSlot []int  // block slot -> pair index or -1
+	sideOfSlot []int8 // block slot -> 0/1 within its pair
+
+	// Statistics.
+	LockAcquires   int64
+	OwnershipXfers int64
+}
+
+// NewManager builds the sharing manager for an SM with the given
+// occupancy: slots [0, occ.Unshared) run unshared blocks; slots
+// occ.Unshared+2i and occ.Unshared+2i+1 form pair i.
+func NewManager(cfg *config.Config, occ Occupancy, warpsPerBlock int) *Manager {
+	m := &Manager{
+		Mode:        cfg.Sharing,
+		PrivateRegs: occ.PrivateRegs,
+		PrivateSmem: occ.PrivateSmem,
+		pairOfSlot:  make([]int, occ.Max),
+		sideOfSlot:  make([]int8, occ.Max),
+	}
+	for i := range m.pairOfSlot {
+		m.pairOfSlot[i] = -1
+	}
+	for i := 0; i < occ.Pairs; i++ {
+		a := occ.Unshared + 2*i
+		b := a + 1
+		p := &Pair{
+			Slots:     [2]int{a, b},
+			Owner:     noSide,
+			warpLocks: make([]int8, warpsPerBlock),
+			smemLock:  noSide,
+		}
+		for j := range p.warpLocks {
+			p.warpLocks[j] = noSide
+		}
+		m.pairs = append(m.pairs, p)
+		m.pairOfSlot[a], m.sideOfSlot[a] = i, 0
+		m.pairOfSlot[b], m.sideOfSlot[b] = i, 1
+	}
+	return m
+}
+
+// Shared reports whether the block slot belongs to a sharing pair.
+func (m *Manager) Shared(slot int) bool {
+	return m != nil && slot < len(m.pairOfSlot) && m.pairOfSlot[slot] >= 0
+}
+
+// PartnerSlot returns the other slot of the pair, or -1 for unshared
+// slots.
+func (m *Manager) PartnerSlot(slot int) int {
+	if !m.Shared(slot) {
+		return -1
+	}
+	p := m.pairs[m.pairOfSlot[slot]]
+	return p.Slots[1-m.sideOfSlot[slot]]
+}
+
+// Category classifies the warps of a block slot.
+func (m *Manager) Category(slot int) Category {
+	if !m.Shared(slot) {
+		return CatUnshared
+	}
+	p := m.pairs[m.pairOfSlot[slot]]
+	switch p.Owner {
+	case noSide:
+		return CatUnshared
+	case m.sideOfSlot[slot]:
+		return CatOwner
+	default:
+		return CatNonOwner
+	}
+}
+
+// RegNeedsLock reports whether issuing in from a warp in the given slot
+// requires holding the pair's shared-register lock: the slot is in a
+// pair and the instruction touches a register in the shared pool.
+func (m *Manager) RegNeedsLock(slot int, in *isa.Instr) bool {
+	if m.Mode != config.ShareRegisters || !m.Shared(slot) {
+		return false
+	}
+	return in.MaxReg() >= m.PrivateRegs
+}
+
+// HoldsRegLock reports whether the warp already holds its pair lock.
+func (m *Manager) HoldsRegLock(slot, warpInCta int) bool {
+	p := m.pairs[m.pairOfSlot[slot]]
+	return p.warpLocks[warpInCta] == m.sideOfSlot[slot]
+}
+
+// TryAcquireReg attempts to take the shared-register lock for warp
+// warpInCta of the given slot, enforcing the deadlock-avoidance rule: a
+// warp from one block may acquire only when no warp of the partner block
+// holds an active lock (Fig. 5). Acquiring establishes block ownership.
+func (m *Manager) TryAcquireReg(slot, warpInCta int) bool {
+	p := m.pairs[m.pairOfSlot[slot]]
+	side := m.sideOfSlot[slot]
+	switch p.warpLocks[warpInCta] {
+	case side:
+		return true // already held
+	case 1 - side:
+		return false // partner warp holds this pair's lock
+	}
+	if p.activeLocks[1-side] > 0 {
+		return false // deadlock-avoidance: partner block has live locks
+	}
+	p.warpLocks[warpInCta] = side
+	p.activeLocks[side]++
+	m.LockAcquires++
+	if p.Owner != side {
+		if p.Owner != noSide {
+			m.OwnershipXfers++
+		}
+		p.Owner = side
+	}
+	return true
+}
+
+// SmemNeedsLock reports whether a scratchpad access with the given
+// per-lane addresses touches the shared region.
+func (m *Manager) SmemNeedsLock(slot int, addrs *[kernel.WarpSize]uint32, active uint32) bool {
+	if m.Mode != config.ShareScratchpad || !m.Shared(slot) {
+		return false
+	}
+	for lane := 0; lane < kernel.WarpSize; lane++ {
+		if active&(1<<lane) != 0 && int(addrs[lane]) >= m.PrivateSmem {
+			return true
+		}
+	}
+	return false
+}
+
+// TryAcquireSmem attempts to take the pair's scratchpad lock for the
+// block in the given slot. The lock is block-granular and held until the
+// block finishes.
+func (m *Manager) TryAcquireSmem(slot int) bool {
+	p := m.pairs[m.pairOfSlot[slot]]
+	side := m.sideOfSlot[slot]
+	switch p.smemLock {
+	case side:
+		return true
+	case 1 - side:
+		return false
+	}
+	p.smemLock = side
+	m.LockAcquires++
+	if p.Owner != side {
+		if p.Owner != noSide {
+			m.OwnershipXfers++
+		}
+		p.Owner = side
+	}
+	return true
+}
+
+// WarpFinished releases any register lock held by the finished warp.
+func (m *Manager) WarpFinished(slot, warpInCta int) {
+	m.ReleaseReg(slot, warpInCta)
+}
+
+// ReleaseReg drops the pair lock held by a warp, if any. Besides warp
+// completion, the simulator calls this for the §VIII future-work
+// extension: once live-range analysis proves a warp cannot touch the
+// shared register pool again, its lock is released early so the partner
+// warp can proceed.
+func (m *Manager) ReleaseReg(slot, warpInCta int) {
+	if m == nil || m.Mode != config.ShareRegisters || !m.Shared(slot) {
+		return
+	}
+	p := m.pairs[m.pairOfSlot[slot]]
+	side := m.sideOfSlot[slot]
+	if p.warpLocks[warpInCta] == side {
+		p.warpLocks[warpInCta] = noSide
+		p.activeLocks[side]--
+	}
+}
+
+// BlockFinished handles a block's completion in its slot: all its locks
+// are dropped and, if it owned the pair, ownership transfers to the
+// partner block (§IV: "as soon as the owner thread block finishes, it
+// transfers its ownership to the non-owner thread block"). partnerLive
+// says whether the partner slot currently runs a block.
+func (m *Manager) BlockFinished(slot int, partnerLive bool) {
+	if !m.Shared(slot) {
+		return
+	}
+	p := m.pairs[m.pairOfSlot[slot]]
+	side := m.sideOfSlot[slot]
+	for i, holder := range p.warpLocks {
+		if holder == side {
+			p.warpLocks[i] = noSide
+		}
+	}
+	p.activeLocks[side] = 0
+	if p.smemLock == side {
+		p.smemLock = noSide
+	}
+	if p.Owner == side {
+		if partnerLive {
+			p.Owner = 1 - side
+			m.OwnershipXfers++
+		} else {
+			p.Owner = noSide
+		}
+	}
+}

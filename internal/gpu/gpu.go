@@ -1,0 +1,260 @@
+// Package gpu assembles the whole GPU: the SM array, the memory system,
+// the thread-block dispatcher (including sharing pairs and ownership-
+// transfer relaunch), and the dynamic-warp-execution controller. Its Run
+// loop advances everything on a unified cycle clock until the grid
+// completes.
+package gpu
+
+import (
+	"fmt"
+	"io"
+
+	"gpushare/internal/config"
+	"gpushare/internal/core"
+	"gpushare/internal/kernel"
+	"gpushare/internal/mem"
+	"gpushare/internal/opt/unroll"
+	"gpushare/internal/smcore"
+	"gpushare/internal/stats"
+)
+
+// progressWindow is the deadlock detector: if no SM issues a single
+// instruction for this many consecutive cycles, the run aborts.
+const progressWindow = 500_000
+
+// defaultMaxCycles bounds runaway simulations.
+const defaultMaxCycles = 200_000_000
+
+// Sim owns the functional memory and runs kernels on a configured GPU.
+// Create it, populate Mem with kernel inputs, Run launches, then read
+// results back from Mem.
+type Sim struct {
+	Cfg config.Config
+	Mem *mem.Global
+
+	// Trace, when non-nil and Cfg.TraceInterval > 0, receives one
+	// progress snapshot every TraceInterval cycles during Run.
+	Trace io.Writer
+
+	ms *mem.System
+}
+
+// New builds a simulator for the configuration.
+func New(cfg config.Config) (*Sim, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	ms := mem.NewSystem(&cfg)
+	return &Sim{Cfg: cfg, Mem: ms.Global, ms: ms}, nil
+}
+
+// MustNew is New that panics on configuration errors.
+func MustNew(cfg config.Config) *Sim {
+	s, err := New(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Occupancy reports the per-SM block occupancy the dispatcher would use
+// for the kernel under this simulator's configuration.
+func (s *Sim) Occupancy(k *kernel.Kernel) core.Occupancy {
+	return core.ComputeOccupancy(&s.Cfg, k)
+}
+
+// Run executes one kernel launch to completion and returns the run
+// statistics. Run may be called repeatedly; global memory and the L2
+// persist across launches (call FlushCaches for cold-cache runs).
+func (s *Sim) Run(l *kernel.Launch) (*stats.GPU, error) {
+	if err := l.Validate(); err != nil {
+		return nil, err
+	}
+	launch := *l
+	if s.Cfg.UnrollRegs {
+		k := unroll.Apply(l.Kernel)
+		launch.Kernel = k
+	}
+	occ := core.ComputeOccupancy(&s.Cfg, launch.Kernel)
+	if occ.Baseline == 0 {
+		return nil, fmt.Errorf("kernel %s does not fit on an SM (%s)", launch.Kernel.Name, occ.Limiter)
+	}
+
+	sms := make([]*smcore.SM, s.Cfg.NumSMs)
+	for i := range sms {
+		sms[i] = smcore.New(i, &s.Cfg, &launch, occ, s.ms)
+	}
+
+	// Initial fill, slot-major across SMs so blocks spread evenly, as
+	// GPGPU-Sim's breadth-first CTA dispatcher does. Blocks are numbered
+	// linearly (row-major over the 2D grid).
+	totalBlocks := launch.Blocks()
+	nextCTA := 0
+	for slot := 0; slot < occ.Max && nextCTA < totalBlocks; slot++ {
+		for _, sm := range sms {
+			if nextCTA >= totalBlocks {
+				break
+			}
+			sm.LaunchBlock(slot, nextCTA)
+			nextCTA++
+		}
+	}
+
+	maxCycles := s.Cfg.MaxCycles
+	if maxCycles <= 0 {
+		maxCycles = defaultMaxCycles
+	}
+
+	dyn := newDynController(&s.Cfg, sms)
+	var pending []pendingLaunch
+	var lastIssued int64
+	lastProgress := int64(0)
+
+	var now int64
+	for now = 0; ; now++ {
+		if now >= maxCycles {
+			return nil, fmt.Errorf("kernel %s exceeded %d cycles", launch.Kernel.Name, maxCycles)
+		}
+		for _, sm := range sms {
+			sm.Tick(now)
+		}
+		s.ms.Tick(now)
+
+		// Refill completed block slots after the CTA dispatch latency.
+		for len(pending) > 0 && pending[0].at <= now {
+			p := pending[0]
+			pending = pending[1:]
+			if nextCTA < totalBlocks {
+				sms[p.sm].LaunchBlock(p.slot, nextCTA)
+				nextCTA++
+			}
+		}
+		for si, sm := range sms {
+			for _, slot := range sm.FinishedSlots() {
+				pending = append(pending, pendingLaunch{
+					sm: si, slot: slot, at: now + int64(s.Cfg.CTALaunchLat),
+				})
+			}
+		}
+
+		dyn.maybeAdjust(now)
+
+		if s.Trace != nil && s.Cfg.TraceInterval > 0 && now%s.Cfg.TraceInterval == 0 {
+			s.traceSnapshot(now, sms, nextCTA, launch.GridDim)
+		}
+
+		// Completion: every CTA dispatched and every SM drained.
+		if nextCTA >= totalBlocks && len(pending) == 0 {
+			done := true
+			for _, sm := range sms {
+				if !sm.Idle() {
+					done = false
+					break
+				}
+			}
+			if done {
+				break
+			}
+		}
+
+		// Deadlock detection.
+		var issued int64
+		for _, sm := range sms {
+			issued += sm.Stats.WarpInstrs
+		}
+		if issued != lastIssued {
+			lastIssued = issued
+			lastProgress = now
+		} else if now-lastProgress > progressWindow {
+			return nil, fmt.Errorf("kernel %s: no instruction issued for %d cycles (deadlock?) at cycle %d",
+				launch.Kernel.Name, progressWindow, now)
+		}
+	}
+
+	g := &stats.GPU{Cycles: now + 1, ResidentTB: occ.Max}
+	for _, sm := range sms {
+		sm.FinalizeStats()
+		g.SMs = append(g.SMs, sm.Stats)
+		g.L1.Add(sm.L1Stats())
+	}
+	s.ms.CollectStats(g)
+	return g, nil
+}
+
+// FlushCaches invalidates the persistent L2 partitions.
+func (s *Sim) FlushCaches() { s.ms.FlushCaches() }
+
+// traceSnapshot writes one progress line: cycle, dispatched blocks, and
+// aggregate issue/stall/idle counts.
+func (s *Sim) traceSnapshot(now int64, sms []*smcore.SM, nextCTA, grid int) {
+	var instrs, stalls, idles int64
+	active := 0
+	for _, sm := range sms {
+		instrs += sm.Stats.WarpInstrs
+		stalls += sm.Stats.StallCycles
+		idles += sm.Stats.IdleCycles
+		active += sm.ActiveBlocks()
+	}
+	fmt.Fprintf(s.Trace, "cycle %9d  blocks %5d/%-5d resident %3d  warpinstrs %10d  stall %9d  idle %9d\n",
+		now, nextCTA, grid, active, instrs, stalls, idles)
+}
+
+// pendingLaunch is a block relaunch waiting out the CTA dispatch latency.
+type pendingLaunch struct {
+	sm   int
+	slot int
+	at   int64
+}
+
+// dynController implements §IV-C: every DynPeriod cycles each SMi (i>0)
+// compares the stall cycles it accumulated in the window against SM0 (on
+// which non-owner memory instructions are disabled outright) and steps
+// its issue probability down if it stalled more, up if it stalled less.
+type dynController struct {
+	cfg   *config.Config
+	sms   []*smcore.SM
+	last  []int64
+	probs []float64
+}
+
+func newDynController(cfg *config.Config, sms []*smcore.SM) *dynController {
+	d := &dynController{cfg: cfg, sms: sms, last: make([]int64, len(sms)), probs: make([]float64, len(sms))}
+	for i := range d.probs {
+		d.probs[i] = 1
+	}
+	return d
+}
+
+func (d *dynController) maybeAdjust(now int64) {
+	if !d.cfg.DynWarp || len(d.sms) < 2 {
+		return
+	}
+	period := int64(d.cfg.DynPeriod)
+	if period <= 0 || (now+1)%period != 0 {
+		return
+	}
+	window := make([]int64, len(d.sms))
+	for i, sm := range d.sms {
+		// The paper's monitor counts stalls in the broad sense; our
+		// split files memory-induced waits under idle, so the window
+		// tracks both.
+		total := sm.Stats.StallCycles + sm.Stats.IdleCycles
+		window[i] = total - d.last[i]
+		d.last[i] = total
+	}
+	for i := 1; i < len(d.sms); i++ {
+		switch {
+		case window[i] > window[0]:
+			d.probs[i] -= d.cfg.DynStep
+		case window[i] < window[0]:
+			d.probs[i] += d.cfg.DynStep
+		}
+		if d.probs[i] < 0 {
+			d.probs[i] = 0
+		}
+		if d.probs[i] > 1 {
+			d.probs[i] = 1
+		}
+		d.sms[i].SetDynProb(d.probs[i])
+	}
+}

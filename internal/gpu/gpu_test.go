@@ -1,0 +1,128 @@
+package gpu
+
+import (
+	"testing"
+
+	"gpushare/internal/config"
+	"gpushare/internal/isa"
+	"gpushare/internal/kernel"
+)
+
+// vecAddKernel builds: out[i] = a[i] + b[i] for i = global thread id.
+func vecAddKernel(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	b := kernel.NewBuilder("vecadd", 128)
+	b.Params(3) // a, b, out
+	const (
+		rTid = iota
+		rA
+		rB
+		rOut
+		rVa
+		rVb
+		rSum
+		rOff
+	)
+	// tid = ctaid*ntid + tid
+	b.IMad(rTid, isa.Sreg(isa.SrCtaid), isa.Sreg(isa.SrNtid), isa.Sreg(isa.SrTid))
+	b.Shl(rOff, isa.Reg(rTid), isa.Imm(2))
+	b.LdParam(rA, 0)
+	b.LdParam(rB, 1)
+	b.LdParam(rOut, 2)
+	b.IAdd(rA, isa.Reg(rA), isa.Reg(rOff))
+	b.IAdd(rB, isa.Reg(rB), isa.Reg(rOff))
+	b.IAdd(rOut, isa.Reg(rOut), isa.Reg(rOff))
+	b.LdG(rVa, isa.Reg(rA), 0)
+	b.LdG(rVb, isa.Reg(rB), 0)
+	b.IAdd(rSum, isa.Reg(rVa), isa.Reg(rVb))
+	b.StG(isa.Reg(rOut), 0, isa.Reg(rSum))
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("build vecadd: %v", err)
+	}
+	return k
+}
+
+func TestVecAddEndToEnd(t *testing.T) {
+	cfg := config.Default()
+	sim := MustNew(cfg)
+
+	k := vecAddKernel(t)
+	const n = 128 * 56 // 56 blocks over 14 SMs
+	av := make([]uint32, n)
+	bv := make([]uint32, n)
+	for i := range av {
+		av[i] = uint32(i * 3)
+		bv[i] = uint32(1000 - i)
+	}
+	aAddr := sim.Mem.Alloc(4 * n)
+	bAddr := sim.Mem.Alloc(4 * n)
+	oAddr := sim.Mem.Alloc(4 * n)
+	sim.Mem.WriteWords(aAddr, av)
+	sim.Mem.WriteWords(bAddr, bv)
+
+	g, err := sim.Run(&kernel.Launch{
+		Kernel:  k,
+		GridDim: n / 128,
+		Params:  []uint32{aAddr, bAddr, oAddr},
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+
+	out := sim.Mem.ReadWords(oAddr, n)
+	for i := range out {
+		if want := av[i] + bv[i]; out[i] != want {
+			t.Fatalf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+	if g.Cycles <= 0 {
+		t.Fatalf("cycles = %d, want > 0", g.Cycles)
+	}
+	const instrsPerThread = 13
+	wantWarpInstrs := int64(n / 32 * instrsPerThread)
+	if got := g.TotalWarpInstrs(); got != wantWarpInstrs {
+		t.Errorf("warp instrs = %d, want %d", got, wantWarpInstrs)
+	}
+	if got := g.TotalThreadInstrs(); got != int64(n)*instrsPerThread {
+		t.Errorf("thread instrs = %d, want %d", got, int64(n)*instrsPerThread)
+	}
+	if g.IPC() <= 0 {
+		t.Errorf("IPC = %v, want > 0", g.IPC())
+	}
+	if g.L1.Accesses == 0 {
+		t.Errorf("expected L1 traffic")
+	}
+	t.Logf("vecadd: cycles=%d IPC=%.1f stall=%d idle=%d L1miss=%.1f%%",
+		g.Cycles, g.IPC(), g.StallCycles(), g.IdleCycles(), g.L1.MissRate()*100)
+}
+
+func TestVecAddAllSchedulers(t *testing.T) {
+	for _, pol := range []config.SchedPolicy{config.SchedLRR, config.SchedGTO, config.SchedTwoLevel, config.SchedOWF} {
+		pol := pol
+		t.Run(pol.String(), func(t *testing.T) {
+			cfg := config.Default()
+			cfg.Sched = pol
+			sim := MustNew(cfg)
+			k := vecAddKernel(t)
+			const n = 128 * 28
+			aAddr := sim.Mem.Alloc(4 * n)
+			bAddr := sim.Mem.Alloc(4 * n)
+			oAddr := sim.Mem.Alloc(4 * n)
+			for i := 0; i < n; i++ {
+				sim.Mem.Store32(aAddr+uint32(4*i), uint32(i))
+				sim.Mem.Store32(bAddr+uint32(4*i), uint32(2*i))
+			}
+			_, err := sim.Run(&kernel.Launch{Kernel: k, GridDim: n / 128, Params: []uint32{aAddr, bAddr, oAddr}})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			for i := 0; i < n; i++ {
+				if got := sim.Mem.Load32(oAddr + uint32(4*i)); got != uint32(3*i) {
+					t.Fatalf("out[%d] = %d, want %d", i, got, 3*i)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,119 @@
+package gpu
+
+import (
+	"testing"
+
+	"gpushare/internal/asm"
+	"gpushare/internal/config"
+	"gpushare/internal/isa"
+	"gpushare/internal/kernel"
+)
+
+// transpose2DKernel builds a 16x16-tile matrix transpose using 2D blocks
+// and a 2D grid: out[x*H + y] = in[y*W + x].
+func transpose2DKernel(t *testing.T) *kernel.Kernel {
+	t.Helper()
+	b := kernel.NewBuilder("transpose2d", 16)
+	b.SetBlockDimY(16)
+	b.Params(4) // in, out, W, H
+	const (
+		rX = iota
+		rY
+		rW
+		rH
+		rIn
+		rOut
+		rT
+		rV
+	)
+	// x = ctaid.x*ntid.x + tid.x ; y = ctaid.y*ntid.y + tid.y
+	b.IMad(rX, isa.Sreg(isa.SrCtaid), isa.Sreg(isa.SrNtid), isa.Sreg(isa.SrTid))
+	b.IMad(rY, isa.Sreg(isa.SrCtaidY), isa.Sreg(isa.SrNtidY), isa.Sreg(isa.SrTidY))
+	b.LdParam(rIn, 0)
+	b.LdParam(rOut, 1)
+	b.LdParam(rW, 2)
+	b.LdParam(rH, 3)
+	// v = in[(y*W + x)*4]
+	b.IMad(rT, isa.Reg(rY), isa.Reg(rW), isa.Reg(rX))
+	b.Shl(rT, isa.Reg(rT), isa.Imm(2))
+	b.IAdd(rT, isa.Reg(rT), isa.Reg(rIn))
+	b.LdG(rV, isa.Reg(rT), 0)
+	// out[(x*H + y)*4] = v
+	b.IMad(rT, isa.Reg(rX), isa.Reg(rH), isa.Reg(rY))
+	b.Shl(rT, isa.Reg(rT), isa.Imm(2))
+	b.IAdd(rT, isa.Reg(rT), isa.Reg(rOut))
+	b.StG(isa.Reg(rT), 0, isa.Reg(rV))
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return k
+}
+
+// TestTranspose2D exercises two-dimensional blocks and grids end to end.
+func Test2DTranspose(t *testing.T) {
+	k := transpose2DKernel(t)
+	if k.Threads() != 256 || k.WarpsPerBlock() != 8 {
+		t.Fatalf("16x16 block: threads=%d warps=%d", k.Threads(), k.WarpsPerBlock())
+	}
+	const W, H = 128, 64 // 8x4 grid of 16x16 tiles
+	sim := MustNew(config.Default())
+	in := sim.Mem.Alloc(4 * W * H)
+	out := sim.Mem.Alloc(4 * W * H)
+	for i := 0; i < W*H; i++ {
+		sim.Mem.Store32(in+uint32(4*i), uint32(i*7+1))
+	}
+	l := &kernel.Launch{
+		Kernel: k, GridDim: W / 16, GridDimY: H / 16,
+		Params: []uint32{in, out, W, H},
+	}
+	if got := l.Blocks(); got != 32 {
+		t.Fatalf("Blocks() = %d, want 32", got)
+	}
+	if _, err := sim.Run(l); err != nil {
+		t.Fatal(err)
+	}
+	for y := 0; y < H; y++ {
+		for x := 0; x < W; x++ {
+			want := sim.Mem.Load32(in + uint32(4*(y*W+x)))
+			if got := sim.Mem.Load32(out + uint32(4*(x*H+y))); got != want {
+				t.Fatalf("out[%d][%d] = %d, want %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+// Test2DOccupancyUsesTotalThreads: a 16x16 block counts as 256 threads
+// for the occupancy caps.
+func Test2DOccupancyUsesTotalThreads(t *testing.T) {
+	k := transpose2DKernel(t)
+	sim := MustNew(config.Default())
+	occ := sim.Occupancy(k)
+	// 256 threads, 8 regs: thread cap 1536/256 = 6 binds.
+	if occ.Baseline != 6 || occ.Limiter != "threads" {
+		t.Fatalf("occupancy = %+v, want 6 thread-limited", occ)
+	}
+}
+
+// Test2DAsmRoundTrip: the y-dimension directives and specials survive
+// print/parse.
+func Test2DAsmRoundTrip(t *testing.T) {
+	k := transpose2DKernel(t)
+	text := asm.Print(k)
+	k2, err := asm.Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if k2.BlockDimY != 16 {
+		t.Fatalf("BlockDimY lost: %d\n%s", k2.BlockDimY, text)
+	}
+	if len(k2.Instrs) != len(k.Instrs) {
+		t.Fatal("instruction count changed")
+	}
+	for i := range k.Instrs {
+		if k.Instrs[i] != k2.Instrs[i] {
+			t.Fatalf("pc %d: %s vs %s", i, &k.Instrs[i], &k2.Instrs[i])
+		}
+	}
+}

@@ -1,0 +1,267 @@
+package gpu
+
+import (
+	"testing"
+
+	"gpushare/internal/config"
+	"gpushare/internal/isa"
+	"gpushare/internal/kernel"
+)
+
+// regHeavyKernel mimics a hotspot-like register footprint: 256 threads,
+// 36 declared registers per thread, with a compute loop that touches
+// high-numbered (shared under sharing) registers. out[i] = f(i).
+func regHeavyKernel(t *testing.T, iters int32) *kernel.Kernel {
+	t.Helper()
+	b := kernel.NewBuilder("regheavy", 256)
+	b.Params(1)
+	b.SetRegs(36)
+	const (
+		rTid = iota
+		rOut
+		rAcc
+		rI
+		rN
+		rTmp  = 30 // deliberately high: lands in the shared pool
+		rTmp2 = 34
+	)
+	b.IMad(rTid, isa.Sreg(isa.SrCtaid), isa.Sreg(isa.SrNtid), isa.Sreg(isa.SrTid))
+	b.LdParam(rOut, 0)
+	b.MovI(rAcc, 0)
+	b.MovI(rI, 0)
+	b.MovI(rN, iters)
+	b.Label("loop")
+	b.IMad(rTmp, isa.Reg(rI), isa.Imm(7), isa.Reg(rTid))
+	b.And(rTmp2, isa.Reg(rTmp), isa.Imm(0xffff))
+	b.IAdd(rAcc, isa.Reg(rAcc), isa.Reg(rTmp2))
+	b.IAdd(rI, isa.Reg(rI), isa.Imm(1))
+	b.Setp(isa.CmpLT, 0, isa.Reg(rI), isa.Reg(rN))
+	b.BraIf(0, false, "loop", "done")
+	b.Label("done")
+	b.Shl(rTid, isa.Reg(rTid), isa.Imm(2))
+	b.IAdd(rOut, isa.Reg(rOut), isa.Reg(rTid))
+	b.StG(isa.Reg(rOut), 0, isa.Reg(rAcc))
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return k
+}
+
+// expectedRegHeavy computes the reference output for one thread.
+func expectedRegHeavy(tid int, iters int32) uint32 {
+	var acc uint32
+	for i := int32(0); i < iters; i++ {
+		tmp := uint32(i*7 + int32(tid))
+		acc += tmp & 0xffff
+	}
+	return acc
+}
+
+// smemKernel: each block stages values in scratchpad, barriers, and reads
+// a neighbour's value. 128 threads, smemBytes declared.
+func smemKernel(t *testing.T, smemBytes int) *kernel.Kernel {
+	t.Helper()
+	b := kernel.NewBuilder("smem", 128)
+	b.Params(1)
+	b.SetSmem(smemBytes)
+	const (
+		rTid = iota
+		rGid
+		rOut
+		rAddr
+		rVal
+		rNb
+	)
+	// The staging buffer sits at byte 4096, inside the shared region for
+	// any threshold t < 0.57 of a 7200-byte block (private bound 720 at
+	// t=0.1), so pairs contend for the scratchpad lock.
+	const stageBase = 4096
+	b.Mov(rTid, isa.Sreg(isa.SrTid))
+	b.IMad(rGid, isa.Sreg(isa.SrCtaid), isa.Sreg(isa.SrNtid), isa.Sreg(isa.SrTid))
+	b.LdParam(rOut, 0)
+	// shared[stageBase + tid*4] = gid * 3
+	b.Shl(rAddr, isa.Reg(rTid), isa.Imm(2))
+	b.IMul(rVal, isa.Reg(rGid), isa.Imm(3))
+	b.StS(isa.Reg(rAddr), stageBase, isa.Reg(rVal))
+	b.Bar()
+	// nb = shared[stageBase + ((tid+1)%128)*4]
+	b.IAdd(rNb, isa.Reg(rTid), isa.Imm(1))
+	b.And(rNb, isa.Reg(rNb), isa.Imm(127))
+	b.Shl(rNb, isa.Reg(rNb), isa.Imm(2))
+	b.LdS(rVal, isa.Reg(rNb), stageBase)
+	// out[gid] = nb value
+	b.Shl(rGid, isa.Reg(rGid), isa.Imm(2))
+	b.IAdd(rOut, isa.Reg(rOut), isa.Reg(rGid))
+	b.StG(isa.Reg(rOut), 0, isa.Reg(rVal))
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return k
+}
+
+func TestRegisterSharingOccupancyAndCorrectness(t *testing.T) {
+	k := regHeavyKernel(t, 40)
+	base := config.Default()
+	baseSim := MustNew(base)
+	if occ := baseSim.Occupancy(k); occ.Baseline != 3 || occ.Max != 3 {
+		t.Fatalf("baseline occupancy = %+v, want 3/3", occ)
+	}
+
+	shared := config.Default()
+	shared.Sharing = config.ShareRegisters
+	shared.T = 0.1
+	shared.Sched = config.SchedOWF
+	shared.UnrollRegs = true
+	shared.DynWarp = true
+	sim := MustNew(shared)
+	occ := sim.Occupancy(k)
+	// Rtb = 8 warps * 32 * 36 = 9216; D=3, leftover 5120; S = min(3, 5) = 3,
+	// M = 6 — also the 1536-thread cap. Matches hotspot in Table VI.
+	if occ.Max != 6 || occ.Pairs != 3 || occ.Unshared != 0 {
+		t.Fatalf("shared occupancy = %+v, want Max=6 Pairs=3 Unshared=0", occ)
+	}
+	if occ.PrivateRegs != 3 {
+		t.Fatalf("PrivateRegs = %d, want 3", occ.PrivateRegs)
+	}
+
+	const grid = 84
+	n := grid * 256
+	out := sim.Mem.Alloc(4 * n)
+	g, err := sim.Run(&kernel.Launch{Kernel: k, GridDim: grid, Params: []uint32{out}})
+	if err != nil {
+		t.Fatalf("run shared: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		if got, want := sim.Mem.Load32(out+uint32(4*i)), expectedRegHeavy(i, 40); got != want {
+			t.Fatalf("out[%d] = %d, want %d", i, got, want)
+		}
+	}
+	var locks int64
+	for i := range g.SMs {
+		locks += g.SMs[i].LockAcquires
+	}
+	if locks == 0 {
+		t.Errorf("expected shared-register lock acquisitions, got none")
+	}
+
+	// Baseline run for comparison: sharing should help this compute-bound
+	// kernel (more resident warps hide ALU latency).
+	outB := baseSim.Mem.Alloc(4 * n)
+	gBase, err := baseSim.Run(&kernel.Launch{Kernel: k, GridDim: grid, Params: []uint32{outB}})
+	if err != nil {
+		t.Fatalf("run baseline: %v", err)
+	}
+	t.Logf("regheavy: baseline IPC=%.1f shared IPC=%.1f (stall %d->%d idle %d->%d)",
+		gBase.IPC(), g.IPC(), gBase.StallCycles(), g.StallCycles(),
+		gBase.IdleCycles(), g.IdleCycles())
+	if g.IPC() <= gBase.IPC() {
+		t.Errorf("register sharing did not improve IPC: base %.2f shared %.2f", gBase.IPC(), g.IPC())
+	}
+}
+
+func TestScratchpadSharingOccupancyAndCorrectness(t *testing.T) {
+	// 7200 bytes/block, like lavaMD: D=2, t=0.1 => M=4 (Table VIII).
+	k := smemKernel(t, 7200)
+	shared := config.Default()
+	shared.Sharing = config.ShareScratchpad
+	shared.T = 0.1
+	shared.Sched = config.SchedOWF
+	sim := MustNew(shared)
+	occ := sim.Occupancy(k)
+	if occ.Baseline != 2 || occ.Max != 4 || occ.Pairs != 2 {
+		t.Fatalf("occupancy = %+v, want Baseline=2 Max=4 Pairs=2", occ)
+	}
+	if occ.PrivateSmem != 720 {
+		t.Fatalf("PrivateSmem = %d, want 720", occ.PrivateSmem)
+	}
+
+	const grid = 56
+	n := grid * 128
+	out := sim.Mem.Alloc(4 * n)
+	g, err := sim.Run(&kernel.Launch{Kernel: k, GridDim: grid, Params: []uint32{out}})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	for blk := 0; blk < grid; blk++ {
+		for tid := 0; tid < 128; tid++ {
+			gid := blk*128 + tid
+			nbGid := blk*128 + (tid+1)%128
+			if got, want := sim.Mem.Load32(out+uint32(4*gid)), uint32(nbGid*3); got != want {
+				t.Fatalf("out[%d] = %d, want %d", gid, got, want)
+			}
+		}
+	}
+	var waits int64
+	for i := range g.SMs {
+		waits += g.SMs[i].SharedMemWaits
+	}
+	if waits == 0 {
+		t.Errorf("expected shared-scratchpad waits (kernel touches the shared region)")
+	}
+	t.Logf("smem: cycles=%d IPC=%.1f sharedWaits=%d", g.Cycles, g.IPC(), waits)
+}
+
+// TestSharingNeverChangesResults runs the same kernels under every
+// scheduler x sharing x optimization combination and checks functional
+// outputs are identical — the sharing machinery must be semantically
+// invisible.
+func TestSharingNeverChangesResults(t *testing.T) {
+	kr := regHeavyKernel(t, 17)
+	ks := smemKernel(t, 5184)
+	const gridR, gridS = 42, 42
+
+	type combo struct {
+		sharing config.SharingMode
+		sched   config.SchedPolicy
+		unroll  bool
+		dyn     bool
+	}
+	var combos []combo
+	for _, sh := range []config.SharingMode{config.ShareNone, config.ShareRegisters, config.ShareScratchpad} {
+		for _, sc := range []config.SchedPolicy{config.SchedLRR, config.SchedGTO, config.SchedOWF} {
+			combos = append(combos, combo{sh, sc, false, false})
+		}
+	}
+	combos = append(combos,
+		combo{config.ShareRegisters, config.SchedOWF, true, true},
+		combo{config.ShareRegisters, config.SchedLRR, true, false},
+	)
+
+	for _, c := range combos {
+		cfg := config.Default()
+		cfg.Sharing = c.sharing
+		cfg.Sched = c.sched
+		cfg.UnrollRegs = c.unroll
+		cfg.DynWarp = c.dyn
+		name := cfg.String()
+		sim := MustNew(cfg)
+
+		outR := sim.Mem.Alloc(4 * gridR * 256)
+		if _, err := sim.Run(&kernel.Launch{Kernel: kr, GridDim: gridR, Params: []uint32{outR}}); err != nil {
+			t.Fatalf("%s: regheavy run: %v", name, err)
+		}
+		for i := 0; i < gridR*256; i++ {
+			if got, want := sim.Mem.Load32(outR+uint32(4*i)), expectedRegHeavy(i, 17); got != want {
+				t.Fatalf("%s: regheavy out[%d] = %d, want %d", name, i, got, want)
+			}
+		}
+
+		outS := sim.Mem.Alloc(4 * gridS * 128)
+		if _, err := sim.Run(&kernel.Launch{Kernel: ks, GridDim: gridS, Params: []uint32{outS}}); err != nil {
+			t.Fatalf("%s: smem run: %v", name, err)
+		}
+		for blk := 0; blk < gridS; blk++ {
+			for tid := 0; tid < 128; tid++ {
+				gid := blk*128 + tid
+				want := uint32((blk*128 + (tid+1)%128) * 3)
+				if got := sim.Mem.Load32(outS + uint32(4*gid)); got != want {
+					t.Fatalf("%s: smem out[%d] = %d, want %d", name, gid, got, want)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,264 @@
+// Package harness reproduces the paper's evaluation: one experiment per
+// table and figure (§VI), each emitting the same rows/series the paper
+// reports. A Session caches simulation runs so experiments that share a
+// configuration (e.g. the Unshared-LRR baseline) do not re-simulate it.
+package harness
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"gpushare/internal/config"
+	"gpushare/internal/gpu"
+	"gpushare/internal/stats"
+	"gpushare/internal/workloads"
+)
+
+// Table is one experiment's result in paper layout: one row per
+// application (or per sharing percentage), one column per series.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    []RowData
+	Notes   string
+}
+
+// RowData is one table row.
+type RowData struct {
+	Name  string
+	Cells []float64
+}
+
+// Format renders the table as aligned text. Numbers are printed with
+// two decimals.
+func (t *Table) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	w := 12
+	for _, c := range t.Columns {
+		if len(c)+2 > w {
+			w = len(c) + 2
+		}
+	}
+	fmt.Fprintf(&b, "%-12s", "")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, "%*s", w, c)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "%-12s", r.Name)
+		for _, v := range r.Cells {
+			fmt.Fprintf(&b, "%*.2f", w, v)
+		}
+		b.WriteByte('\n')
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "note: %s\n", t.Notes)
+	}
+	return b.String()
+}
+
+// Markdown renders the table as a GitHub-flavoured Markdown table. When
+// ref is non-nil, each measured cell is followed by the paper's value in
+// parentheses.
+func (t *Table) Markdown(ref PaperRef) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", t.ID, t.Title)
+	b.WriteString("| workload |")
+	for _, c := range t.Columns {
+		fmt.Fprintf(&b, " %s |", c)
+	}
+	b.WriteString("\n|---|")
+	for range t.Columns {
+		b.WriteString("---|")
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		fmt.Fprintf(&b, "| %s |", r.Name)
+		for ci, v := range r.Cells {
+			cell := fmt.Sprintf(" %.2f", v)
+			if ref != nil {
+				if pv, ok := ref[r.Name][t.Columns[ci]]; ok {
+					cell += fmt.Sprintf(" *(paper: %.2f)*", pv)
+				}
+			}
+			b.WriteString(cell + " |")
+		}
+		b.WriteString("\n")
+	}
+	if t.Notes != "" {
+		fmt.Fprintf(&b, "\n*note: %s*\n", t.Notes)
+	}
+	b.WriteString("\n")
+	return b.String()
+}
+
+// Cell returns the value at (rowName, column), or NaN-like zero with ok
+// false when absent.
+func (t *Table) Cell(rowName, column string) (float64, bool) {
+	ci := -1
+	for i, c := range t.Columns {
+		if c == column {
+			ci = i
+			break
+		}
+	}
+	if ci < 0 {
+		return 0, false
+	}
+	for _, r := range t.Rows {
+		if r.Name == rowName {
+			return r.Cells[ci], true
+		}
+	}
+	return 0, false
+}
+
+// ConfigName identifies a canonical simulator configuration, using the
+// paper's labels.
+type ConfigName string
+
+// Canonical configurations from the paper's figures.
+const (
+	UnsharedLRR      ConfigName = "Unshared-LRR"
+	UnsharedGTO      ConfigName = "Unshared-GTO"
+	Unshared2LVL     ConfigName = "Unshared-2LVL"
+	SharedLRRNoOpt   ConfigName = "Shared-LRR-NoOpt"
+	SharedLRRUnroll  ConfigName = "Shared-LRR-Unroll"
+	SharedLRRUnrDyn  ConfigName = "Shared-LRR-Unroll-Dyn"
+	SharedOWFUnrDyn  ConfigName = "Shared-OWF-Unroll-Dyn"
+	SharedOWF        ConfigName = "Shared-OWF" // scratchpad: no unroll/dyn
+	SharedGTO        ConfigName = "Shared-GTO"
+	SharedGTOUnrDyn  ConfigName = "Shared-GTO-Unroll-Dyn"
+	UnsharedLRR2xReg ConfigName = "Unshared-LRR-Reg#65536"
+	UnsharedLRR2xShm ConfigName = "Unshared-LRR-ShMem#32K"
+)
+
+// buildConfig materializes a named configuration for a workload's
+// sharing mode with threshold t.
+func buildConfig(name ConfigName, mode config.SharingMode, t float64) config.Config {
+	cfg := config.Default()
+	switch name {
+	case UnsharedLRR:
+	case UnsharedGTO:
+		cfg.Sched = config.SchedGTO
+	case Unshared2LVL:
+		cfg.Sched = config.SchedTwoLevel
+	case UnsharedLRR2xReg:
+		cfg.RegsPerSM *= 2
+	case UnsharedLRR2xShm:
+		cfg.SmemPerSM *= 2
+	case SharedLRRNoOpt:
+		cfg.Sharing, cfg.T = mode, t
+	case SharedLRRUnroll:
+		cfg.Sharing, cfg.T = mode, t
+		cfg.UnrollRegs = true
+	case SharedLRRUnrDyn:
+		cfg.Sharing, cfg.T = mode, t
+		cfg.UnrollRegs, cfg.DynWarp = true, true
+	case SharedOWFUnrDyn:
+		cfg.Sharing, cfg.T = mode, t
+		cfg.Sched = config.SchedOWF
+		cfg.UnrollRegs, cfg.DynWarp = true, true
+	case SharedOWF:
+		cfg.Sharing, cfg.T = mode, t
+		cfg.Sched = config.SchedOWF
+	case SharedGTO:
+		cfg.Sharing, cfg.T = mode, t
+		cfg.Sched = config.SchedGTO
+	case SharedGTOUnrDyn:
+		cfg.Sharing, cfg.T = mode, t
+		cfg.Sched = config.SchedGTO
+		cfg.UnrollRegs, cfg.DynWarp = true, true
+	default:
+		panic(fmt.Sprintf("harness: unknown configuration %q", name))
+	}
+	return cfg
+}
+
+// sharingModeFor returns the sharing mode the paper evaluates a workload
+// set under.
+func sharingModeFor(s *workloads.Spec) config.SharingMode {
+	if s.Set == workloads.Set2 {
+		return config.ShareScratchpad
+	}
+	return config.ShareRegisters
+}
+
+// Session runs experiments with memoized simulation results.
+type Session struct {
+	// Scale multiplies workload grid sizes; 2 is the experiment default,
+	// 1 suits quick runs and benchmarks.
+	Scale int
+	// Verify re-checks functional outputs after every run.
+	Verify bool
+	// Progress, when non-nil, receives a line per simulation run.
+	Progress func(string)
+
+	cache map[string]*stats.GPU
+}
+
+// NewSession returns a session at the given scale.
+func NewSession(scale int) *Session {
+	if scale <= 0 {
+		scale = 2
+	}
+	return &Session{Scale: scale, cache: make(map[string]*stats.GPU)}
+}
+
+// Run executes a workload under a named configuration (memoized).
+func (s *Session) Run(spec *workloads.Spec, name ConfigName, t float64) (*stats.GPU, error) {
+	key := fmt.Sprintf("%s|%s|%.3f|%d", spec.Name, name, t, s.Scale)
+	if g, ok := s.cache[key]; ok {
+		return g, nil
+	}
+	cfg := buildConfig(name, sharingModeFor(spec), t)
+	inst := spec.Build(s.Scale)
+	sim, err := gpu.New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("%s under %s: %w", spec.Name, name, err)
+	}
+	inst.Setup(sim.Mem)
+	g, err := sim.Run(inst.Launch)
+	if err != nil {
+		return nil, fmt.Errorf("%s under %s: %w", spec.Name, name, err)
+	}
+	if s.Verify && inst.Check != nil {
+		if err := inst.Check(sim.Mem); err != nil {
+			return nil, fmt.Errorf("%s under %s: functional check failed: %w", spec.Name, name, err)
+		}
+	}
+	if s.Progress != nil {
+		s.Progress(fmt.Sprintf("%-10s %-24s IPC %7.2f  cycles %9d", spec.Name, name, g.IPC(), g.Cycles))
+	}
+	s.cache[key] = g
+	return g, nil
+}
+
+// Experiment runs the experiment with the given id ("fig8c", "table5",
+// "hw", ...).
+func (s *Session) Experiment(id string) (*Table, error) {
+	fn, ok := experiments[id]
+	if !ok {
+		return nil, fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+	}
+	return fn(s)
+}
+
+var experiments = map[string]func(*Session) (*Table, error){}
+
+func registerExperiment(id string, fn func(*Session) (*Table, error)) {
+	experiments[id] = fn
+}
+
+// IDs returns every experiment id in sorted order.
+func IDs() []string {
+	ids := make([]string, 0, len(experiments))
+	for id := range experiments {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

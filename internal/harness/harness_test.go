@@ -1,0 +1,293 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"gpushare/internal/workloads"
+)
+
+func TestExperimentIDsComplete(t *testing.T) {
+	// One experiment per paper artifact.
+	want := []string{
+		"fig1a", "fig1b", "fig1c", "fig1d",
+		"fig8a", "fig8b", "fig8c", "fig8d",
+		"fig9a", "fig9b", "fig9c", "fig9d",
+		"fig10a", "fig10b", "fig10c", "fig10d",
+		"fig11a", "fig11b", "fig12a", "fig12b",
+		"table5", "table6", "table7", "table8", "hw",
+		"ext-earlyrelease", "ext-l1policy", "ext-launchlat", "ext-mshr",
+		"ext-rfbanks",
+	}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s missing", id)
+		}
+	}
+	if len(ids) != len(want) {
+		t.Errorf("have %d experiments, want %d: %v", len(ids), len(want), ids)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	if _, err := NewSession(1).Experiment("fig99"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+// TestBlockSweepsMatchPaperExactly: Tables VI and VIII are pure
+// occupancy math and must match the paper cell for cell.
+func TestBlockSweepsMatchPaperExactly(t *testing.T) {
+	s := NewSession(1)
+	for _, id := range []string{"table6", "table8"} {
+		tab, err := s.Experiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref := PaperRefs[id]
+		for _, row := range tab.Rows {
+			for ci, col := range tab.Columns {
+				want, ok := ref[row.Name][col]
+				if !ok {
+					t.Fatalf("%s: no paper value for %s/%s", id, row.Name, col)
+				}
+				if got := row.Cells[ci]; got != want {
+					t.Errorf("%s %s@%s = %v, paper says %v", id, row.Name, col, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestFig1MatchesPaper: baseline resident blocks are also exact.
+func TestFig1MatchesPaper(t *testing.T) {
+	s := NewSession(1)
+	for _, id := range []string{"fig1a", "fig1c"} {
+		tab, err := s.Experiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range tab.Rows {
+			if want := PaperRefs[id][row.Name]["Blocks"]; row.Cells[0] != want {
+				t.Errorf("%s %s = %v, paper says %v", id, row.Name, row.Cells[0], want)
+			}
+		}
+	}
+	// Wastage is the closed-form (R mod D*Rtb)/R; spot check hotspot:
+	// 5120/32768 = 15.625%.
+	tab, err := s.Experiment("fig1b")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := tab.Cell("hotspot", "Wastage%"); !ok || v < 15.6 || v > 15.7 {
+		t.Errorf("hotspot register wastage = %v, want 15.625", v)
+	}
+}
+
+// TestFig8BlocksMatchPaper: resident blocks under 90% sharing.
+func TestFig8BlocksMatchPaper(t *testing.T) {
+	s := NewSession(1)
+	for id, col := range map[string]string{"fig8a": "Shared-OWF-Unroll-Dyn", "fig8b": "Shared-OWF"} {
+		tab, err := s.Experiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range tab.Rows {
+			if want := PaperRefs[id][row.Name][col]; want != 0 {
+				if got, _ := tab.Cell(row.Name, col); got != want {
+					t.Errorf("%s %s = %v, paper says %v", id, row.Name, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestSharingIPCShape is the headline shape check for Fig. 8(c)/(d):
+// who wins and roughly by how much, at experiment scale 1.
+func TestSharingIPCShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	// Shapes are validated at the reference experiment scale.
+	s := NewSession(2)
+
+	c, err := s.Experiment("fig8c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(tab *Table, name string) float64 {
+		v, ok := tab.Cell(name, "Improvement%")
+		if !ok {
+			t.Fatalf("missing row %s", name)
+		}
+		return v
+	}
+	// Register sharing: the paper's big gainers must clearly gain...
+	for _, name := range []string{"hotspot", "MUM", "b+tree", "stencil"} {
+		if v := get(c, name); v < 5 {
+			t.Errorf("fig8c %s = %+.1f%%, paper reports a 12-24%% gain", name, v)
+		}
+	}
+	// ...the near-neutral apps must stay small either way...
+	for _, name := range []string{"LIB", "mri-q"} {
+		if v := get(c, name); v < -5 || v > 8 {
+			t.Errorf("fig8c %s = %+.1f%%, paper reports ~0%%", name, v)
+		}
+	}
+	// ...and nothing collapses.
+	for _, row := range c.Rows {
+		if row.Cells[0] < -8 {
+			t.Errorf("fig8c %s = %+.1f%%: sharing should never cost this much", row.Name, row.Cells[0])
+		}
+	}
+
+	d, err := s.Experiment("fig8d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scratchpad sharing: everything gains; lavaMD is the paper's (and
+	// our) biggest winner.
+	maxName, maxV := "", -1e9
+	for _, row := range d.Rows {
+		if row.Cells[0] < -5 {
+			t.Errorf("fig8d %s = %+.1f%%, paper reports gains across Set-2", row.Name, row.Cells[0])
+		}
+		if row.Cells[0] > maxV {
+			maxName, maxV = row.Name, row.Cells[0]
+		}
+	}
+	if maxName != "lavaMD" && maxName != "SRAD1" {
+		t.Errorf("fig8d max gainer = %s (%.1f%%); paper's is lavaMD", maxName, maxV)
+	}
+	if v := get(d, "lavaMD"); v < 20 {
+		t.Errorf("fig8d lavaMD = %+.1f%%, paper reports ~30%%", v)
+	}
+}
+
+// TestSet3SharingIsInert reproduces the paper's Fig. 12 finding exactly:
+// for Set-3, sharing launches nothing extra, so Shared-LRR == Unshared-
+// LRR and Shared-OWF == Shared-GTO == Unshared-GTO.
+func TestSet3SharingIsInert(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s := NewSession(1)
+	tab, err := s.Experiment("fig12a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		lrr, _ := tab.Cell(row.Name, string(UnsharedLRR))
+		slrr, _ := tab.Cell(row.Name, string(SharedLRRUnrDyn))
+		gto, _ := tab.Cell(row.Name, string(UnsharedGTO))
+		sgto, _ := tab.Cell(row.Name, string(SharedGTOUnrDyn))
+		owf, _ := tab.Cell(row.Name, string(SharedOWFUnrDyn))
+		if lrr != slrr {
+			t.Errorf("%s: Shared-LRR %v != Unshared-LRR %v", row.Name, slrr, lrr)
+		}
+		if gto != sgto {
+			t.Errorf("%s: Shared-GTO %v != Unshared-GTO %v", row.Name, sgto, gto)
+		}
+		if owf != gto {
+			t.Errorf("%s: Shared-OWF %v != Unshared-GTO %v (OWF must degenerate to GTO)",
+				row.Name, owf, gto)
+		}
+	}
+}
+
+// TestSweepZeroAndTenPercentIdentical: the paper notes all applications
+// behave the same at 0% and 10% sharing (no extra blocks yet).
+func TestSweepZeroAndTenPercentIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	s := NewSession(1)
+	for _, id := range []string{"table5", "table7"} {
+		tab, err := s.Experiment(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, row := range tab.Rows {
+			if row.Cells[0] != row.Cells[1] {
+				t.Errorf("%s %s: 0%% (%v) != 10%% (%v)", id, row.Name, row.Cells[0], row.Cells[1])
+			}
+		}
+	}
+}
+
+func TestTableFormatAndCell(t *testing.T) {
+	tab := &Table{ID: "x", Title: "t", Columns: []string{"A", "B"},
+		Rows: []RowData{{"r1", []float64{1, 2}}, {"r2", []float64{3, 4}}}, Notes: "n"}
+	out := tab.Format()
+	for _, want := range []string{"== x: t ==", "r1", "r2", "note: n"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("format missing %q:\n%s", want, out)
+		}
+	}
+	if v, ok := tab.Cell("r2", "B"); !ok || v != 4 {
+		t.Errorf("Cell = %v,%v", v, ok)
+	}
+	if _, ok := tab.Cell("r3", "B"); ok {
+		t.Error("phantom row")
+	}
+	if _, ok := tab.Cell("r1", "C"); ok {
+		t.Error("phantom column")
+	}
+}
+
+func TestSessionCaching(t *testing.T) {
+	s := NewSession(1)
+	runs := 0
+	s.Progress = func(string) { runs++ }
+	spec, _ := workloads.ByName("CONV2")
+	if _, err := s.Run(spec, UnsharedLRR, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(spec, UnsharedLRR, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 1 {
+		t.Errorf("memoization failed: %d runs", runs)
+	}
+	// A different threshold with the same blocks may not be cached, but a
+	// different config name must re-run.
+	if _, err := s.Run(spec, UnsharedGTO, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	if runs != 2 {
+		t.Errorf("distinct config not run: %d", runs)
+	}
+}
+
+func TestHWExperiment(t *testing.T) {
+	tab, err := NewSession(1).Experiment("hw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := tab.Cell("register", "PerSM"); v != 273 {
+		t.Errorf("register bits/SM = %v, want 273", v)
+	}
+	if v, _ := tab.Cell("scratchpad", "PerSM"); v != 93 {
+		t.Errorf("scratchpad bits/SM = %v, want 93", v)
+	}
+}
+
+func TestMarkdownOutput(t *testing.T) {
+	tab := &Table{ID: "table6", Title: "blocks", Columns: []string{"0%", "90%"},
+		Rows: []RowData{{"hotspot", []float64{3, 6}}}}
+	md := tab.Markdown(PaperRefs["table6"])
+	for _, want := range []string{"### table6", "| hotspot |", "*(paper: 3.00)*", "*(paper: 6.00)*"} {
+		if !strings.Contains(md, want) {
+			t.Errorf("markdown missing %q:\n%s", want, md)
+		}
+	}
+	// Without a reference, no paper annotations appear.
+	if strings.Contains(tab.Markdown(nil), "paper:") {
+		t.Error("nil ref must not produce paper annotations")
+	}
+}

@@ -1,0 +1,82 @@
+// Package hw computes the hardware storage overhead of the sharing
+// mechanisms using the formulas of Section V of the paper:
+//
+//	register sharing:   (1 + T⌈log2(T+1)⌉ + 2W + ⌊W/2⌋⌈log2 W⌉) · N bits
+//	scratchpad sharing: (1 + T⌈log2(T+1)⌉ +  W + ⌊T/2⌋⌈log2 T⌉) · N bits
+//
+// where N is the number of SMs, T the maximum resident thread blocks per
+// SM, and W the maximum resident warps per SM.
+package hw
+
+import (
+	"fmt"
+
+	"gpushare/internal/config"
+)
+
+// Overhead is the per-GPU storage cost of one sharing mechanism.
+type Overhead struct {
+	SharingModeBit int // 1 bit per SM: sharing enabled?
+	PartnerIDBits  int // per SM: partner block id per block slot
+	OwnerBits      int // per SM: owner bit per warp
+	ModeBits       int // per SM: per-warp sharing-mode bit (registers only)
+	LockBits       int // per SM: lock variables
+	PerSM          int // total bits per SM
+	Total          int // bits for the whole GPU
+}
+
+// CeilLog2 returns ⌈log2(n)⌉ for n >= 1.
+func CeilLog2(n int) int {
+	if n <= 1 {
+		return 0
+	}
+	b := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// RegisterSharing computes the storage overhead of register sharing for
+// a GPU with nSMs SMs, maxBlocks resident blocks per SM, and maxWarps
+// resident warps per SM.
+func RegisterSharing(nSMs, maxBlocks, maxWarps int) Overhead {
+	o := Overhead{
+		SharingModeBit: 1,
+		PartnerIDBits:  maxBlocks * CeilLog2(maxBlocks+1),
+		OwnerBits:      maxWarps,
+		ModeBits:       maxWarps,
+		LockBits:       (maxWarps / 2) * CeilLog2(maxWarps),
+	}
+	o.PerSM = o.SharingModeBit + o.PartnerIDBits + o.OwnerBits + o.ModeBits + o.LockBits
+	o.Total = o.PerSM * nSMs
+	return o
+}
+
+// ScratchpadSharing computes the storage overhead of scratchpad sharing.
+func ScratchpadSharing(nSMs, maxBlocks, maxWarps int) Overhead {
+	o := Overhead{
+		SharingModeBit: 1,
+		PartnerIDBits:  maxBlocks * CeilLog2(maxBlocks+1),
+		OwnerBits:      maxWarps,
+		LockBits:       (maxBlocks / 2) * CeilLog2(maxBlocks),
+	}
+	o.PerSM = o.SharingModeBit + o.PartnerIDBits + o.OwnerBits + o.LockBits
+	o.Total = o.PerSM * nSMs
+	return o
+}
+
+// ForConfig computes both overheads for a GPU configuration, deriving
+// the warp limit from the thread limit.
+func ForConfig(cfg *config.Config) (reg, smem Overhead) {
+	maxWarps := cfg.MaxThreadsPerSM / 32
+	reg = RegisterSharing(cfg.NumSMs, cfg.MaxBlocksPerSM, maxWarps)
+	smem = ScratchpadSharing(cfg.NumSMs, cfg.MaxBlocksPerSM, maxWarps)
+	return reg, smem
+}
+
+// String renders the overhead as a short report.
+func (o Overhead) String() string {
+	return fmt.Sprintf("%d bits/SM (%d bits = %.1f bytes total)",
+		o.PerSM, o.Total, float64(o.Total)/8)
+}

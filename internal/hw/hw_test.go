@@ -1,0 +1,56 @@
+package hw
+
+import (
+	"testing"
+
+	"gpushare/internal/config"
+)
+
+func TestCeilLog2(t *testing.T) {
+	cases := map[int]int{1: 0, 2: 1, 3: 2, 4: 2, 5: 3, 8: 3, 9: 4, 48: 6, 1024: 10}
+	for n, want := range cases {
+		if got := CeilLog2(n); got != want {
+			t.Errorf("CeilLog2(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+// TestTableIConfiguration evaluates the Section V formulas for the
+// paper's configuration: N=14 SMs, T=8 blocks, W=48 warps.
+//
+//	register:   1 + 8*ceil(log2 9) + 2*48 + 24*ceil(log2 48) = 273 bits/SM
+//	scratchpad: 1 + 8*ceil(log2 9) + 48 + 4*ceil(log2 8)     = 93 bits/SM
+func TestTableIConfiguration(t *testing.T) {
+	reg := RegisterSharing(14, 8, 48)
+	if reg.PerSM != 273 || reg.Total != 273*14 {
+		t.Errorf("register overhead = %+v, want 273 bits/SM", reg)
+	}
+	if reg.PartnerIDBits != 32 || reg.OwnerBits != 48 || reg.ModeBits != 48 || reg.LockBits != 144 {
+		t.Errorf("register breakdown wrong: %+v", reg)
+	}
+	smem := ScratchpadSharing(14, 8, 48)
+	if smem.PerSM != 93 || smem.Total != 93*14 {
+		t.Errorf("scratchpad overhead = %+v, want 93 bits/SM", smem)
+	}
+	if smem.ModeBits != 0 {
+		t.Errorf("scratchpad sharing needs no per-warp mode bits: %+v", smem)
+	}
+
+	cfg := config.Default()
+	r2, s2 := ForConfig(&cfg)
+	if r2 != reg || s2 != smem {
+		t.Error("ForConfig disagrees with direct computation")
+	}
+	// The whole mechanism costs well under a kilobyte per SM — the
+	// paper's "minimal hardware overhead" claim.
+	if reg.PerSM >= 8*1024 {
+		t.Errorf("register overhead %d bits/SM is implausibly large", reg.PerSM)
+	}
+}
+
+func TestOverheadString(t *testing.T) {
+	o := RegisterSharing(14, 8, 48)
+	if s := o.String(); s == "" {
+		t.Error("empty overhead string")
+	}
+}

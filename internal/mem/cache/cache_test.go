@@ -1,0 +1,148 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestHitAfterFill(t *testing.T) {
+	c := New(4, 2, 128)
+	if c.Probe(0x1000) {
+		t.Fatal("cold cache must miss")
+	}
+	c.Fill(0x1000)
+	if !c.Probe(0x1040) { // same 128B line
+		t.Fatal("fill must make the whole line resident")
+	}
+	if c.Probe(0x1080) {
+		t.Fatal("adjacent line must miss")
+	}
+	if c.Stats.Accesses != 3 || c.Stats.Hits != 1 || c.Stats.Misses != 2 {
+		t.Fatalf("stats wrong: %+v", c.Stats)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(1, 2, 128) // one set, two ways
+	c.Fill(0 * 128)
+	c.Fill(1 * 128)
+	c.Probe(0 * 128) // touch line 0: line 1 becomes LRU
+	c.Fill(2 * 128)  // evicts line 1
+	if !c.Contains(0 * 128) {
+		t.Error("recently used line evicted")
+	}
+	if c.Contains(1 * 128) {
+		t.Error("LRU line not evicted")
+	}
+	if !c.Contains(2 * 128) {
+		t.Error("new line not resident")
+	}
+	if c.Stats.Evicts != 1 {
+		t.Errorf("evicts = %d", c.Stats.Evicts)
+	}
+}
+
+func TestInvalidateAndFlush(t *testing.T) {
+	c := New(4, 2, 128)
+	c.Fill(0x1000)
+	c.Invalidate(0x1008) // any address within the line
+	if c.Contains(0x1000) {
+		t.Error("invalidate failed")
+	}
+	c.Fill(0x2000)
+	c.Fill(0x3000)
+	c.Flush()
+	if c.Contains(0x2000) || c.Contains(0x3000) {
+		t.Error("flush failed")
+	}
+}
+
+func TestFillIdempotent(t *testing.T) {
+	c := New(1, 2, 128)
+	c.Fill(0)
+	c.Fill(0)
+	c.Fill(128)
+	// Both lines must fit: double-filling line 0 must not duplicate it.
+	if !c.Contains(0) || !c.Contains(128) {
+		t.Error("refill displaced a distinct line")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	if got := New(32, 4, 128).SizeBytes(); got != 16384 {
+		t.Errorf("16KB L1 geometry = %d bytes", got)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-power-of-two line size must panic")
+		}
+	}()
+	New(4, 2, 100)
+}
+
+// TestAgainstReferenceModel drives random probe/fill traffic and checks
+// the cache agrees with a brute-force fully-LRU reference of the same
+// geometry: same hits, same misses, every probe.
+func TestAgainstReferenceModel(t *testing.T) {
+	const sets, ways, line = 8, 4, 128
+	c := New(sets, ways, line)
+
+	type refLine struct {
+		tag  uint32
+		used int
+	}
+	ref := make([][]refLine, sets)
+	clock := 0
+	refProbe := func(addr uint32) bool {
+		la := addr &^ (line - 1)
+		s := (la / line) % sets
+		clock++
+		for i := range ref[s] {
+			if ref[s][i].tag == la {
+				ref[s][i].used = clock
+				return true
+			}
+		}
+		return false
+	}
+	refFill := func(addr uint32) {
+		la := addr &^ (line - 1)
+		s := (la / line) % sets
+		clock++
+		for i := range ref[s] {
+			if ref[s][i].tag == la {
+				ref[s][i].used = clock
+				return
+			}
+		}
+		if len(ref[s]) < ways {
+			ref[s] = append(ref[s], refLine{la, clock})
+			return
+		}
+		v := 0
+		for i := range ref[s] {
+			if ref[s][i].used < ref[s][v].used {
+				v = i
+			}
+		}
+		ref[s][v] = refLine{la, clock}
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 20000; i++ {
+		addr := uint32(rng.Intn(64)) * line // 64 lines over 32 slots: contention
+		if rng.Intn(3) == 0 {
+			c.Fill(addr)
+			refFill(addr)
+			continue
+		}
+		got := c.Probe(addr)
+		want := refProbe(addr)
+		if got != want {
+			t.Fatalf("step %d addr %#x: cache=%v ref=%v", i, addr, got, want)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+package mem
+
+import (
+	"math"
+
+	"gpushare/internal/kernel"
+)
+
+func f32bits(v float32) uint32     { return math.Float32bits(v) }
+func f32frombits(b uint32) float32 { return math.Float32frombits(b) }
+
+// F32Bits exposes the float32 bit conversion used across the simulator.
+func F32Bits(v float32) uint32 { return math.Float32bits(v) }
+
+// F32FromBits converts an IEEE-754 bit pattern back to float32.
+func F32FromBits(b uint32) float32 { return math.Float32frombits(b) }
+
+// Coalesce reduces the per-lane byte addresses of one warp memory
+// instruction to the set of distinct cache-line addresses it touches,
+// mirroring the memory-access coalescing stage of an NVIDIA LSU.
+// lineSz must be a power of two. The result is appended to buf.
+func Coalesce(addrs *[kernel.WarpSize]uint32, active uint32, lineSz int, buf []uint32) []uint32 {
+	mask := ^uint32(lineSz - 1)
+	for lane := 0; lane < kernel.WarpSize; lane++ {
+		if active&(1<<lane) == 0 {
+			continue
+		}
+		line := addrs[lane] & mask
+		dup := false
+		for _, l := range buf {
+			if l == line {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			buf = append(buf, line)
+		}
+	}
+	return buf
+}
+
+// BankConflictDegree returns the maximum number of distinct scratchpad
+// words mapping to the same bank across the active lanes — the number of
+// serialized scratchpad cycles the access costs. Lanes reading the same
+// word broadcast and do not conflict. banks must be positive.
+func BankConflictDegree(addrs *[kernel.WarpSize]uint32, active uint32, banks int) int {
+	if active == 0 {
+		return 1
+	}
+	// words[b] collects the distinct word addresses seen on bank b.
+	words := make(map[int][]uint32, banks)
+	deg := 1
+	for lane := 0; lane < kernel.WarpSize; lane++ {
+		if active&(1<<lane) == 0 {
+			continue
+		}
+		word := addrs[lane] >> 2
+		b := int(word) % banks
+		dup := false
+		for _, w := range words[b] {
+			if w == word {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			words[b] = append(words[b], word)
+			if len(words[b]) > deg {
+				deg = len(words[b])
+			}
+		}
+	}
+	return deg
+}

@@ -1,0 +1,164 @@
+// Package dram models one GDDR3 DRAM channel per memory partition with an
+// FR-FCFS (first-ready, first-come-first-served) command scheduler, per-
+// bank row buffers, and the activate/precharge/CAS timing constraints of
+// Table I of the paper.
+package dram
+
+import (
+	"gpushare/internal/config"
+	"gpushare/internal/stats"
+)
+
+// Request is one DRAM transaction (a cache-line read or write).
+type Request struct {
+	Addr    uint32 // line address
+	IsWrite bool
+	Tag     any   // opaque payload for the caller
+	Arrive  int64 // cycle the request entered the queue
+	Done    int64 // completion cycle, set by the scheduler
+}
+
+type bank struct {
+	openRow      int64 // -1 = closed
+	readyAt      int64 // earliest next column command
+	lastActivate int64
+}
+
+// Channel is one DRAM channel with FR-FCFS scheduling.
+type Channel struct {
+	banks    []bank
+	queue    []*Request
+	inflight []*Request
+	timing   config.DRAMTiming
+	rowBytes int64
+	dataLat  int64
+	Stats    stats.DRAM
+}
+
+// NewChannel returns a channel with the given bank count and timing.
+func NewChannel(banks, rowBytes int, t config.DRAMTiming, dataLat int) *Channel {
+	ch := &Channel{
+		banks:    make([]bank, banks),
+		timing:   t,
+		rowBytes: int64(rowBytes),
+		dataLat:  int64(dataLat),
+	}
+	for i := range ch.banks {
+		ch.banks[i].openRow = -1
+	}
+	return ch
+}
+
+// bankOf maps a line address to its bank: rows are interleaved across
+// banks at row-buffer granularity.
+func (c *Channel) bankOf(addr uint32) int {
+	return int((int64(addr) / c.rowBytes) % int64(len(c.banks)))
+}
+
+// rowOf maps a line address to its row within the bank.
+func (c *Channel) rowOf(addr uint32) int64 {
+	return int64(addr) / (c.rowBytes * int64(len(c.banks)))
+}
+
+// Enqueue adds a request to the channel queue.
+func (c *Channel) Enqueue(r *Request) { c.queue = append(c.queue, r) }
+
+// Pending returns the number of queued plus in-flight requests.
+func (c *Channel) Pending() int { return len(c.queue) + len(c.inflight) }
+
+// Tick advances the channel one cycle: it may start one column command
+// (FR-FCFS: row hits first, then oldest) and returns any requests whose
+// data transfer completed this cycle.
+func (c *Channel) Tick(now int64) []*Request {
+	c.scheduleOne(now)
+	var done []*Request
+	for i := 0; i < len(c.inflight); {
+		r := c.inflight[i]
+		if r.Done <= now {
+			done = append(done, r)
+			c.inflight[i] = c.inflight[len(c.inflight)-1]
+			c.inflight = c.inflight[:len(c.inflight)-1]
+			continue
+		}
+		i++
+	}
+	return done
+}
+
+func (c *Channel) scheduleOne(now int64) {
+	if len(c.queue) == 0 {
+		return
+	}
+	// First ready: oldest arrived request hitting an open row on a
+	// ready bank.
+	pick := -1
+	for i, r := range c.queue {
+		if r.Arrive > now {
+			continue
+		}
+		b := &c.banks[c.bankOf(r.Addr)]
+		if b.readyAt <= now && b.openRow == c.rowOf(r.Addr) {
+			pick = i
+			break
+		}
+	}
+	rowHit := pick >= 0
+	if pick < 0 {
+		// Then FCFS: oldest arrived request whose bank can accept an
+		// activate.
+		for i, r := range c.queue {
+			if r.Arrive > now {
+				continue
+			}
+			b := &c.banks[c.bankOf(r.Addr)]
+			if b.readyAt <= now && now-b.lastActivate >= int64(c.timing.TRC) {
+				pick = i
+				break
+			}
+		}
+	}
+	if pick < 0 {
+		return
+	}
+	r := c.queue[pick]
+	c.queue = append(c.queue[:pick], c.queue[pick+1:]...)
+	b := &c.banks[c.bankOf(r.Addr)]
+	t := &c.timing
+
+	var latency int64
+	if rowHit {
+		latency = int64(t.TCL)
+		c.Stats.RowHits++
+	} else {
+		// Precharge (if a row is open, honouring tRAS) then activate.
+		pre := int64(0)
+		if b.openRow >= 0 {
+			pre = int64(t.TRP)
+			if early := b.lastActivate + int64(t.TRAS) - now; early > pre {
+				pre = early + int64(t.TRP)
+			}
+		}
+		latency = pre + int64(t.TRCD) + int64(t.TCL)
+		b.openRow = c.rowOf(r.Addr)
+		b.lastActivate = now + pre
+		c.Stats.RowMisses++
+	}
+	latency += c.dataLat
+	if r.IsWrite {
+		latency += int64(t.TWR) - int64(t.TCL)
+		if latency < c.dataLat {
+			latency = c.dataLat
+		}
+		c.Stats.Writes++
+	} else {
+		c.Stats.Reads++
+	}
+	r.Done = now + latency
+	// The bank can take its next column command after the data transfer,
+	// plus the read-after-write turnaround when applicable.
+	b.readyAt = now + latency
+	if r.IsWrite {
+		b.readyAt += int64(t.TCDLR)
+	}
+	c.inflight = append(c.inflight, r)
+}

@@ -1,0 +1,89 @@
+// Package mem implements the global-memory subsystem: the functional
+// backing store, the 128-byte access coalescer, the L2/DRAM memory
+// partitions, and the interconnect glue between SMs and partitions.
+package mem
+
+const pageBits = 16 // 64 KiB pages
+const pageSize = 1 << pageBits
+
+// Global is the functional global-memory backing store: a sparse, paged,
+// byte-addressable space with a bump allocator. Address 0 is kept
+// unallocated so kernels can use 0 as a null pointer.
+type Global struct {
+	pages map[uint32][]byte
+	brk   uint32
+}
+
+// NewGlobal returns an empty global memory.
+func NewGlobal() *Global {
+	return &Global{pages: make(map[uint32][]byte), brk: 256}
+}
+
+// Alloc reserves n bytes and returns the base address, 256-byte aligned
+// so allocations start cache-line aligned.
+func (g *Global) Alloc(n int) uint32 {
+	base := (g.brk + 255) &^ 255
+	g.brk = base + uint32(n)
+	return base
+}
+
+func (g *Global) page(addr uint32) []byte {
+	p, ok := g.pages[addr>>pageBits]
+	if !ok {
+		p = make([]byte, pageSize)
+		g.pages[addr>>pageBits] = p
+	}
+	return p
+}
+
+// Load32 reads a little-endian 32-bit word. Unaligned addresses are
+// clamped to word alignment (our ISA is word-oriented).
+func (g *Global) Load32(addr uint32) uint32 {
+	a := addr &^ 3
+	p := g.page(a)
+	o := a & (pageSize - 1)
+	return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24
+}
+
+// Store32 writes a little-endian 32-bit word.
+func (g *Global) Store32(addr uint32, v uint32) {
+	a := addr &^ 3
+	p := g.page(a)
+	o := a & (pageSize - 1)
+	p[o] = byte(v)
+	p[o+1] = byte(v >> 8)
+	p[o+2] = byte(v >> 16)
+	p[o+3] = byte(v >> 24)
+}
+
+// WriteWords copies words into memory starting at addr.
+func (g *Global) WriteWords(addr uint32, words []uint32) {
+	for i, w := range words {
+		g.Store32(addr+uint32(4*i), w)
+	}
+}
+
+// ReadWords reads n words starting at addr.
+func (g *Global) ReadWords(addr uint32, n int) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = g.Load32(addr + uint32(4*i))
+	}
+	return out
+}
+
+// WriteFloats stores float32 values as their bit patterns.
+func (g *Global) WriteFloats(addr uint32, vals []float32) {
+	for i, v := range vals {
+		g.Store32(addr+uint32(4*i), f32bits(v))
+	}
+}
+
+// ReadFloats reads n float32 values.
+func (g *Global) ReadFloats(addr uint32, n int) []float32 {
+	out := make([]float32, n)
+	for i := range out {
+		out[i] = f32frombits(g.Load32(addr + uint32(4*i)))
+	}
+	return out
+}

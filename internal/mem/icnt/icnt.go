@@ -1,0 +1,51 @@
+// Package icnt models the interconnect between SM clusters and memory
+// partitions as a fixed-latency crossbar with per-destination FIFO
+// delivery and a configurable per-cycle ejection bandwidth.
+package icnt
+
+// Packet is one message in flight.
+type Packet struct {
+	Payload any
+	readyAt int64
+}
+
+// Network is a one-directional crossbar: Push routes a packet to a
+// destination port; Pop delivers packets in FIFO order once their latency
+// has elapsed.
+type Network struct {
+	latency int64
+	ports   [][]Packet
+}
+
+// New returns a network with the given number of destination ports and a
+// fixed traversal latency in cycles.
+func New(ports int, latency int) *Network {
+	return &Network{latency: int64(latency), ports: make([][]Packet, ports)}
+}
+
+// Push injects a packet toward dst at time now.
+func (n *Network) Push(dst int, payload any, now int64) {
+	n.ports[dst] = append(n.ports[dst], Packet{Payload: payload, readyAt: now + n.latency})
+}
+
+// Pop removes and returns the payload of the oldest packet at dst whose
+// latency has elapsed, or nil if none is deliverable this cycle.
+func (n *Network) Pop(dst int, now int64) any {
+	q := n.ports[dst]
+	if len(q) == 0 || q[0].readyAt > now {
+		return nil
+	}
+	p := q[0].Payload
+	copy(q, q[1:])
+	n.ports[dst] = q[:len(q)-1]
+	return p
+}
+
+// Pending returns the number of undelivered packets across all ports.
+func (n *Network) Pending() int {
+	total := 0
+	for _, q := range n.ports {
+		total += len(q)
+	}
+	return total
+}

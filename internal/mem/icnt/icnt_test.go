@@ -1,0 +1,47 @@
+package icnt
+
+import "testing"
+
+func TestFixedLatency(t *testing.T) {
+	n := New(2, 10)
+	n.Push(0, "a", 5)
+	for now := int64(0); now < 15; now++ {
+		if p := n.Pop(0, now); p != nil {
+			t.Fatalf("packet delivered at %d, before latency elapsed", now)
+		}
+	}
+	if p := n.Pop(0, 15); p != "a" {
+		t.Fatalf("packet not delivered at 15: %v", p)
+	}
+}
+
+func TestFIFOOrderAndBandwidth(t *testing.T) {
+	n := New(1, 0)
+	n.Push(0, 1, 0)
+	n.Push(0, 2, 0)
+	// One pop per cycle models ejection bandwidth: both are ready but
+	// arrive in order.
+	if n.Pop(0, 0) != 1 {
+		t.Fatal("FIFO order violated")
+	}
+	if n.Pop(0, 0) != 2 {
+		t.Fatal("second packet lost")
+	}
+	if n.Pop(0, 0) != nil {
+		t.Fatal("phantom packet")
+	}
+}
+
+func TestPortsIsolated(t *testing.T) {
+	n := New(3, 0)
+	n.Push(1, "x", 0)
+	if n.Pop(0, 5) != nil || n.Pop(2, 5) != nil {
+		t.Fatal("packet leaked to wrong port")
+	}
+	if n.Pop(1, 5) != "x" {
+		t.Fatal("packet lost")
+	}
+	if n.Pending() != 0 {
+		t.Fatalf("pending = %d", n.Pending())
+	}
+}

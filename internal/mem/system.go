@@ -1,0 +1,164 @@
+package mem
+
+import (
+	"gpushare/internal/config"
+	"gpushare/internal/mem/cache"
+	"gpushare/internal/mem/dram"
+	"gpushare/internal/mem/icnt"
+	"gpushare/internal/stats"
+)
+
+// LineRequest is one cache-line transaction from an SM to the memory
+// system. Replies (for reads) are routed back to the requesting SM.
+type LineRequest struct {
+	LineAddr uint32
+	IsWrite  bool
+	SM       int
+}
+
+type delayedReply struct {
+	at  int64
+	req *LineRequest
+}
+
+type partition struct {
+	l2      *cache.Cache
+	mshr    map[uint32][]*LineRequest
+	dram    *dram.Channel
+	pending []delayedReply // L2 hits serving their hit latency
+}
+
+// System is the global-memory timing model: an SM-to-partition request
+// network, L2 cache partitions with MSHRs, per-partition GDDR3 channels,
+// and a reply network back to the SMs. The functional backing store is
+// Global and is updated at issue time by the warp executor; System only
+// models timing.
+type System struct {
+	cfg        *config.Config
+	partitions []*partition
+	toMem      *icnt.Network
+	toSM       *icnt.Network
+	Global     *Global
+}
+
+// NewSystem builds the memory system for a configuration.
+func NewSystem(cfg *config.Config) *System {
+	s := &System{
+		cfg:    cfg,
+		toMem:  icnt.New(cfg.L2Partitions, cfg.IcntLat),
+		toSM:   icnt.New(cfg.NumSMs, cfg.IcntLat),
+		Global: NewGlobal(),
+	}
+	for i := 0; i < cfg.L2Partitions; i++ {
+		s.partitions = append(s.partitions, &partition{
+			l2:   cache.New(cfg.L2Sets, cfg.L2Ways, cfg.L1LineSz),
+			mshr: make(map[uint32][]*LineRequest),
+			dram: dram.NewChannel(cfg.DRAMBanksPerPartition, cfg.DRAMRowBytes,
+				cfg.DRAMTiming, cfg.DRAMDataLat),
+		})
+	}
+	return s
+}
+
+// partitionOf maps a line address to its memory partition.
+func (s *System) partitionOf(lineAddr uint32) int {
+	return int(lineAddr>>7) % len(s.partitions)
+}
+
+// Send injects a line request from an SM at time now.
+func (s *System) Send(req *LineRequest, now int64) {
+	s.toMem.Push(s.partitionOf(req.LineAddr), req, now)
+}
+
+// PopReply delivers the oldest ready reply for the given SM, or nil.
+// At most one reply per SM per cycle models the reply-network ejection
+// bandwidth.
+func (s *System) PopReply(sm int, now int64) *LineRequest {
+	p := s.toSM.Pop(sm, now)
+	if p == nil {
+		return nil
+	}
+	return p.(*LineRequest)
+}
+
+// Tick advances every partition by one cycle.
+func (s *System) Tick(now int64) {
+	for pi, p := range s.partitions {
+		// Accept at most one new request per cycle per partition.
+		if pkt := s.toMem.Pop(pi, now); pkt != nil {
+			s.receive(p, pkt.(*LineRequest), now)
+		}
+		// DRAM command scheduling and completions.
+		for _, done := range p.dram.Tick(now) {
+			req := done.Tag.(*LineRequest)
+			if done.IsWrite {
+				continue
+			}
+			p.l2.Fill(req.LineAddr)
+			waiters := p.mshr[req.LineAddr]
+			delete(p.mshr, req.LineAddr)
+			for _, w := range waiters {
+				s.toSM.Push(w.SM, w, now)
+			}
+		}
+		// L2 hits that finished their hit latency.
+		for len(p.pending) > 0 && p.pending[0].at <= now {
+			s.toSM.Push(p.pending[0].req.SM, p.pending[0].req, now)
+			p.pending = p.pending[1:]
+		}
+	}
+}
+
+func (s *System) receive(p *partition, req *LineRequest, now int64) {
+	// Misses traverse the L2 lookup pipeline before reaching DRAM, so a
+	// DRAM access always costs more than an L2 hit.
+	missAt := now + int64(s.cfg.L2HitLat)
+	if req.IsWrite {
+		// Write-through, no-allocate: refresh the line if resident,
+		// always forward to DRAM. Writes carry no reply.
+		if p.l2.Probe(req.LineAddr) {
+			p.l2.Fill(req.LineAddr)
+		}
+		p.dram.Enqueue(&dram.Request{Addr: req.LineAddr, IsWrite: true, Tag: req, Arrive: missAt})
+		return
+	}
+	if p.l2.Probe(req.LineAddr) {
+		p.pending = append(p.pending, delayedReply{at: now + int64(s.cfg.L2HitLat), req: req})
+		return
+	}
+	if waiters, merged := p.mshr[req.LineAddr]; merged {
+		p.l2.Stats.MSHRMerg++
+		p.mshr[req.LineAddr] = append(waiters, req)
+		return
+	}
+	p.mshr[req.LineAddr] = []*LineRequest{req}
+	p.dram.Enqueue(&dram.Request{Addr: req.LineAddr, IsWrite: false, Tag: req, Arrive: missAt})
+}
+
+// Drained reports whether no requests remain anywhere in the system.
+func (s *System) Drained() bool {
+	if s.toMem.Pending() > 0 || s.toSM.Pending() > 0 {
+		return false
+	}
+	for _, p := range s.partitions {
+		if len(p.mshr) > 0 || len(p.pending) > 0 || p.dram.Pending() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// CollectStats sums L2 and DRAM statistics into the aggregate.
+func (s *System) CollectStats(g *stats.GPU) {
+	for _, p := range s.partitions {
+		g.L2.Add(&p.l2.Stats)
+		g.DRAM.Add(&p.dram.Stats)
+	}
+}
+
+// FlushCaches invalidates all L2 partitions (between kernels).
+func (s *System) FlushCaches() {
+	for _, p := range s.partitions {
+		p.l2.Flush()
+	}
+}

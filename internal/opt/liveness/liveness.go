@@ -1,0 +1,110 @@
+// Package liveness implements the control-flow analysis behind the
+// paper's first future-work item (§VIII): "live range analysis along
+// with instruction reordering can be used to detect and release
+// registers that are not used beyond a point. Such registers, if shared,
+// can be used by the warp in the other thread block waiting for shared
+// registers."
+//
+// FutureSharedUse computes, for every PC, whether any instruction
+// reachable from that PC (inclusive) can still touch a register in the
+// shared pool (index >= privateRegs). Once a warp reaches a PC where
+// this is false, its shared-register lock can be released early —
+// unblocking the partner warp before the owner finishes. The simulator
+// applies this when Config.EarlyRegRelease is set.
+//
+// The analysis is a backward reachability fixpoint over the kernel's
+// CFG (successors of a branch are its target and fall-through; EXIT has
+// none), so it is conservative and loop-safe: a PC inside a loop whose
+// body touches shared registers stays "shared in future" until the loop
+// is provably left behind.
+package liveness
+
+import (
+	"gpushare/internal/isa"
+	"gpushare/internal/kernel"
+)
+
+// FutureSharedUse returns a slice the length of the kernel's instruction
+// stream: element pc is true when some instruction at or after pc (along
+// any control-flow path) references a register with index >=
+// privateRegs.
+func FutureSharedUse(k *kernel.Kernel, privateRegs int) []bool {
+	n := len(k.Instrs)
+	future := make([]bool, n)
+	uses := make([]bool, n)
+	var buf [4]int
+	for pc := range k.Instrs {
+		for _, r := range k.Instrs[pc].Regs(buf[:0]) {
+			if r >= privateRegs {
+				uses[pc] = true
+				break
+			}
+		}
+		future[pc] = uses[pc]
+	}
+	// Backward fixpoint: propagate along fall-through and branch edges.
+	for changed := true; changed; {
+		changed = false
+		for pc := n - 1; pc >= 0; pc-- {
+			if future[pc] {
+				continue
+			}
+			v := uses[pc]
+			for _, succ := range successors(k, pc) {
+				if succ < n && future[succ] {
+					v = true
+					break
+				}
+			}
+			if v {
+				future[pc] = true
+				changed = true
+			}
+		}
+	}
+	return future
+}
+
+// successors returns the control-flow successors of pc.
+func successors(k *kernel.Kernel, pc int) []int {
+	in := &k.Instrs[pc]
+	switch in.Op {
+	case isa.EXIT:
+		if in.Guarded() {
+			return []int{pc + 1} // some lanes may continue
+		}
+		return nil
+	case isa.BRA:
+		if in.Guarded() {
+			return []int{in.Target, pc + 1}
+		}
+		return []int{in.Target}
+	default:
+		return []int{pc + 1}
+	}
+}
+
+// ReleasePoint returns the first PC at which a straight-line walk from 0
+// can be certain no shared register will ever be used again, or -1 if no
+// such point exists. It is a convenience for reports (cmd/gasm) rather
+// than the simulator, which checks FutureSharedUse at the warp's actual
+// PC every issue.
+func ReleasePoint(k *kernel.Kernel, privateRegs int) int {
+	future := FutureSharedUse(k, privateRegs)
+	for pc, f := range future {
+		if !f {
+			return pc
+		}
+	}
+	return -1
+}
+
+// SharedRegCount reports how many of the kernel's registers fall in the
+// shared pool for the given private bound — 0 means early release can
+// never trigger (nothing is shared).
+func SharedRegCount(k *kernel.Kernel, privateRegs int) int {
+	if used := k.MaxUsedReg() + 1; used > privateRegs {
+		return used - privateRegs
+	}
+	return 0
+}

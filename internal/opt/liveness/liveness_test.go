@@ -1,0 +1,139 @@
+package liveness
+
+import (
+	"testing"
+
+	"gpushare/internal/isa"
+	"gpushare/internal/kernel"
+	"gpushare/internal/workloads"
+)
+
+func TestStraightLine(t *testing.T) {
+	b := kernel.NewBuilder("sl", 32)
+	b.SetRegs(16)
+	b.MovI(10, 1)                      // shared (>= 8)
+	b.IAdd(0, isa.Reg(10), isa.Imm(2)) // reads shared
+	b.IAdd(1, isa.Reg(0), isa.Imm(3))  // private only
+	b.IAdd(2, isa.Reg(1), isa.Imm(4))  // private only
+	b.Exit()
+	k := b.MustBuild()
+	f := FutureSharedUse(k, 8)
+	want := []bool{true, true, false, false, false}
+	for pc, w := range want {
+		if f[pc] != w {
+			t.Errorf("pc %d: future=%v, want %v (%s)", pc, f[pc], w, &k.Instrs[pc])
+		}
+	}
+	if got := ReleasePoint(k, 8); got != 2 {
+		t.Errorf("ReleasePoint = %d, want 2", got)
+	}
+}
+
+func TestLoopKeepsSharedLive(t *testing.T) {
+	// A loop whose body touches a shared register: everything from entry
+	// through the backward branch must stay "shared in future".
+	b := kernel.NewBuilder("loop", 32)
+	b.SetRegs(16)
+	b.MovI(0, 0)
+	b.Label("top")
+	b.IAdd(12, isa.Reg(12), isa.Imm(1)) // shared register in the body
+	b.IAdd(0, isa.Reg(0), isa.Imm(1))
+	b.Setp(isa.CmpLT, 0, isa.Reg(0), isa.Imm(10))
+	b.BraIf(0, false, "top", "out")
+	b.Label("out")
+	b.IAdd(1, isa.Reg(0), isa.Imm(5)) // private epilogue
+	b.Exit()
+	k := b.MustBuild()
+	f := FutureSharedUse(k, 8)
+	for pc := 0; pc <= 4; pc++ { // mov .. braif
+		if !f[pc] {
+			t.Errorf("pc %d inside the loop region must remain shared-live", pc)
+		}
+	}
+	if f[5] || f[6] {
+		t.Errorf("epilogue must be releasable: f[5]=%v f[6]=%v", f[5], f[6])
+	}
+}
+
+func TestDivergentPathsJoin(t *testing.T) {
+	// Shared use on only one branch arm: the join point before the arm
+	// must be conservative (true), after both arms false.
+	b := kernel.NewBuilder("div", 32)
+	b.SetRegs(16)
+	b.Setp(isa.CmpLT, 0, isa.Sreg(isa.SrLane), isa.Imm(16)) // pc0
+	b.BraIf(0, false, "skip", "join")                       // pc1
+	b.MovI(12, 9)                                           // pc2: shared on fall-through
+	b.Label("skip")
+	b.Label("join")
+	b.MovI(1, 1) // pc3: private
+	b.Exit()     // pc4
+	k := b.MustBuild()
+	f := FutureSharedUse(k, 8)
+	if !f[0] || !f[1] || !f[2] {
+		t.Errorf("prefix must be shared-live: %v", f)
+	}
+	if f[3] || f[4] {
+		t.Errorf("join must be releasable: %v", f)
+	}
+}
+
+func TestNoSharedAtAll(t *testing.T) {
+	b := kernel.NewBuilder("none", 32)
+	b.SetRegs(16)
+	b.MovI(0, 1)
+	b.Exit()
+	k := b.MustBuild()
+	f := FutureSharedUse(k, 8)
+	if f[0] || f[1] {
+		t.Error("kernel without shared registers must be all-false")
+	}
+	if ReleasePoint(k, 8) != 0 {
+		t.Error("release point should be pc 0")
+	}
+	if SharedRegCount(k, 8) != 0 {
+		t.Error("no shared registers expected")
+	}
+}
+
+func TestGuardedExitHasFallthrough(t *testing.T) {
+	// @p exit continues for unguarded lanes: the successor's shared use
+	// must propagate through the guarded exit.
+	b := kernel.NewBuilder("gexit", 32)
+	b.SetRegs(16)
+	b.Setp(isa.CmpEQ, 0, isa.Sreg(isa.SrLane), isa.Imm(0))
+	b.Guard(0, false)
+	b.Exit()
+	b.MovI(12, 1) // shared, reached by surviving lanes
+	b.Exit()
+	k := b.MustBuild()
+	f := FutureSharedUse(k, 8)
+	if !f[1] {
+		t.Error("guarded exit must keep the fall-through's shared use live")
+	}
+	if !f[2] {
+		t.Error("the shared write itself must be shared-live")
+	}
+	if f[3] {
+		t.Error("final exit must be releasable")
+	}
+}
+
+func TestWorkloadKernelsAnalyzable(t *testing.T) {
+	// The analysis must terminate and produce a sane table for every
+	// benchmark proxy (they contain loops, guards, and early exits).
+	for _, spec := range workloads.All() {
+		k := spec.Build(1).Launch.Kernel
+		private := k.RegsPerThread / 10
+		f := FutureSharedUse(k, private)
+		if len(f) != len(k.Instrs) {
+			t.Fatalf("%s: table length %d != %d", spec.Name, len(f), len(k.Instrs))
+		}
+		// Monotone along straight-line suffixes: once false at the final
+		// EXIT, it stays false.
+		if last := k.Instrs[len(k.Instrs)-1]; last.Op.String() == "exit" && !last.Guarded() {
+			if f[len(f)-1] && SharedRegCount(k, private) == 0 {
+				t.Errorf("%s: final exit shared-live with no shared registers", spec.Name)
+			}
+		}
+	}
+}

@@ -1,0 +1,86 @@
+// Package unroll implements the paper's "unrolling and reordering of
+// register declarations" optimization (§IV-B): registers are renumbered
+// in order of first static use so that the instructions at the top of a
+// kernel touch only low-numbered registers. Under register sharing the
+// low-numbered registers (RegNo < Rw·t) are the private ones, so a
+// non-owner warp can execute as far as possible before its first access
+// to the shared register pool forces it to wait for the owner warp.
+package unroll
+
+import (
+	"gpushare/internal/isa"
+	"gpushare/internal/kernel"
+)
+
+// Apply returns a copy of the kernel with registers renumbered by first
+// static use. The transformation is a pure renaming: program semantics
+// and the register footprint are unchanged. Registers never referenced
+// (allocation padding) keep their relative order after all used ones.
+func Apply(k *kernel.Kernel) *kernel.Kernel {
+	remap := Mapping(k)
+	out := *k
+	out.Instrs = make([]isa.Instr, len(k.Instrs))
+	for i := range k.Instrs {
+		in := k.Instrs[i]
+		in.Dst = remapOperand(in.Dst, remap)
+		in.A = remapOperand(in.A, remap)
+		in.B = remapOperand(in.B, remap)
+		in.C = remapOperand(in.C, remap)
+		out.Instrs[i] = in
+	}
+	return &out
+}
+
+// Mapping computes the old-to-new register index permutation: registers
+// in first-use order (scanning instructions top to bottom, sources before
+// destination), then never-used registers in ascending old order.
+func Mapping(k *kernel.Kernel) []int {
+	remap := make([]int, k.RegsPerThread)
+	for i := range remap {
+		remap[i] = -1
+	}
+	next := 0
+	assign := func(o isa.Operand) {
+		if o.Kind == isa.OpReg && remap[o.Reg] < 0 {
+			remap[o.Reg] = next
+			next++
+		}
+	}
+	for i := range k.Instrs {
+		in := &k.Instrs[i]
+		assign(in.A)
+		assign(in.B)
+		assign(in.C)
+		assign(in.Dst)
+	}
+	for old := range remap {
+		if remap[old] < 0 {
+			remap[old] = next
+			next++
+		}
+	}
+	return remap
+}
+
+// FirstSharedUse returns the PC of the first instruction that touches a
+// register with index >= privateRegs, or -1 if none does. It measures how
+// far a non-owner warp can run before stalling — the quantity the unroll
+// pass maximizes.
+func FirstSharedUse(k *kernel.Kernel, privateRegs int) int {
+	var buf [4]int
+	for pc := range k.Instrs {
+		for _, r := range k.Instrs[pc].Regs(buf[:0]) {
+			if r >= privateRegs {
+				return pc
+			}
+		}
+	}
+	return -1
+}
+
+func remapOperand(o isa.Operand, remap []int) isa.Operand {
+	if o.Kind == isa.OpReg {
+		o.Reg = uint8(remap[o.Reg])
+	}
+	return o
+}

@@ -1,0 +1,181 @@
+// Package sched implements the warp scheduling policies evaluated in the
+// paper: LRR (the GPGPU-Sim baseline), GTO, a two-level scheduler in the
+// style of Narasiman et al., and the paper's Owner-Warp-First (OWF).
+//
+// A scheduler ranks the warp slots it manages each cycle; the SM issue
+// stage walks the ranking and issues the first warp that passes all
+// hazard checks. This mirrors GPGPU-Sim's ordered-warp scheduler design.
+package sched
+
+import (
+	"sort"
+
+	"gpushare/internal/config"
+	"gpushare/internal/core"
+)
+
+// WarpInfo is the per-warp view a scheduler ranks on.
+type WarpInfo struct {
+	Slot     int           // warp slot index within the SM
+	DynID    int64         // dynamic (launch-order) id; lower = older
+	Category core.Category // owner / unshared / non-owner
+	HasWork  bool          // has a decoded instruction to consider
+	// WaitingLong marks warps whose next instruction waits on an
+	// outstanding global-memory load; the two-level scheduler demotes
+	// their fetch group.
+	WaitingLong bool
+}
+
+// Scheduler ranks warps for issue.
+type Scheduler interface {
+	// Order writes the slots to consider, in priority order, into out
+	// and returns it. Warps with HasWork == false may be omitted.
+	Order(warps []WarpInfo, out []int) []int
+	// Issued informs the scheduler that slot issued this cycle.
+	Issued(slot int)
+}
+
+// New returns a scheduler implementing the given policy. groupSize is
+// used by the two-level policy only.
+func New(policy config.SchedPolicy, groupSize int) Scheduler {
+	switch policy {
+	case config.SchedGTO:
+		return &gto{last: -1}
+	case config.SchedTwoLevel:
+		if groupSize <= 0 {
+			groupSize = 8
+		}
+		return &twoLevel{group: groupSize, last: -1}
+	case config.SchedOWF:
+		return &owf{last: -1}
+	default:
+		return &lrr{}
+	}
+}
+
+// lrr is loose round-robin: each cycle the search starts one past the
+// last issued warp.
+type lrr struct {
+	next int
+}
+
+func (s *lrr) Order(warps []WarpInfo, out []int) []int {
+	n := len(warps)
+	for i := 0; i < n; i++ {
+		w := &warps[(s.next+i)%n]
+		if w.HasWork {
+			out = append(out, w.Slot)
+		}
+	}
+	return out
+}
+
+func (s *lrr) Issued(slot int) { s.next = slot + 1 }
+
+// gto is greedy-then-oldest: keep issuing from the same warp while it is
+// ready; otherwise the oldest (lowest dynamic id) ready warp.
+type gto struct {
+	last int
+}
+
+func (s *gto) Order(warps []WarpInfo, out []int) []int {
+	return greedyThenOldest(warps, out, s.last, false)
+}
+
+func (s *gto) Issued(slot int) { s.last = slot }
+
+// greedyThenOldest ranks warps by dynamic id (and category when
+// byCategory), hoisting the previously issued warp to the front of its
+// priority class.
+func greedyThenOldest(warps []WarpInfo, out []int, last int, byCategory bool) []int {
+	idx := make([]int, 0, len(warps))
+	for i := range warps {
+		if warps[i].HasWork {
+			idx = append(idx, i)
+		}
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		wa, wb := &warps[idx[a]], &warps[idx[b]]
+		if byCategory && wa.Category != wb.Category {
+			return wa.Category < wb.Category
+		}
+		ga, gb := wa.Slot == last, wb.Slot == last
+		if ga != gb {
+			return ga
+		}
+		return wa.DynID < wb.DynID
+	})
+	for _, i := range idx {
+		out = append(out, warps[i].Slot)
+	}
+	return out
+}
+
+// twoLevel divides warps into fetch groups and round-robins within the
+// active group, switching groups when the active group's warps are all
+// blocked on long-latency operations (Narasiman et al., MICRO-44).
+type twoLevel struct {
+	group  int
+	active int
+	last   int
+}
+
+func (s *twoLevel) Order(warps []WarpInfo, out []int) []int {
+	n := len(warps)
+	if n == 0 {
+		return out
+	}
+	groups := (n + s.group - 1) / s.group
+	if s.active >= groups {
+		s.active = 0
+	}
+	// Demote the active group if none of its warps can make progress
+	// without waiting on memory.
+	if !s.groupRunnable(warps, s.active) {
+		for g := 1; g < groups; g++ {
+			cand := (s.active + g) % groups
+			if s.groupRunnable(warps, cand) {
+				s.active = cand
+				break
+			}
+		}
+	}
+	for g := 0; g < groups; g++ {
+		gi := (s.active + g) % groups
+		lo, hi := gi*s.group, min((gi+1)*s.group, n)
+		for i := 0; i < hi-lo; i++ {
+			w := &warps[lo+(s.last+1+i)%(hi-lo)]
+			if w.HasWork {
+				out = append(out, w.Slot)
+			}
+		}
+	}
+	return out
+}
+
+func (s *twoLevel) groupRunnable(warps []WarpInfo, g int) bool {
+	lo, hi := g*s.group, min((g+1)*s.group, len(warps))
+	for i := lo; i < hi; i++ {
+		if warps[i].HasWork && !warps[i].WaitingLong {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *twoLevel) Issued(slot int) { s.last = slot }
+
+// owf is the paper's Owner-Warp-First policy (§IV-A): shared-owner warps
+// first, then unshared warps, then shared non-owner warps; within that
+// order it behaves greedy-then-oldest on dynamic warp ids, which is why
+// OWF degenerates to GTO-like behaviour when no blocks share resources
+// (observed for Set-3 in the paper's Fig. 12).
+type owf struct {
+	last int
+}
+
+func (s *owf) Order(warps []WarpInfo, out []int) []int {
+	return greedyThenOldest(warps, out, s.last, true)
+}
+
+func (s *owf) Issued(slot int) { s.last = slot }

@@ -1,0 +1,286 @@
+// Package smcore models one Streaming Multiprocessor: warp contexts, the
+// per-cycle dual-scheduler issue stage with scoreboarding, SP/SFU/LSU
+// execution pipelines, the per-SM L1 data cache with MSHRs, block-wide
+// barriers, and the resource-sharing hooks (register/scratchpad lock
+// checks at issue, Figs. 3 and 4 of the paper) plus the dynamic-warp-
+// execution gate (§IV-C).
+package smcore
+
+import (
+	"fmt"
+
+	"gpushare/internal/config"
+	"gpushare/internal/core"
+	"gpushare/internal/kernel"
+	"gpushare/internal/mem"
+	"gpushare/internal/mem/cache"
+	"gpushare/internal/opt/liveness"
+	"gpushare/internal/sched"
+	"gpushare/internal/stats"
+	"gpushare/internal/warp"
+)
+
+// loadGroup tracks one in-flight global load instruction: the warp it
+// belongs to and how many line transactions are still outstanding.
+type loadGroup struct {
+	warpSlot  int
+	remaining int
+	regMask   uint64
+	gen       uint32 // warp-slot generation the group belongs to
+}
+
+// wbEvent is a scheduled writeback: at its cycle it clears scoreboard
+// bits or retires part of a load group.
+type wbEvent struct {
+	warpSlot int
+	gen      uint32
+	regMask  uint64
+	predMask uint8
+	group    *loadGroup // non-nil: decrement the group instead
+}
+
+// warpCtx is one hardware warp slot.
+type warpCtx struct {
+	w         *warp.State
+	live      bool
+	finished  bool
+	atBarrier bool
+
+	pendingRegs  uint64 // registers with outstanding writes
+	pendingPreds uint8
+	loadRegs     uint64 // subset of pendingRegs produced by global loads
+
+	// gen increments on every block launch into this slot; stale
+	// writeback events and load completions from a previous occupant
+	// are discarded by comparing generations.
+	gen uint32
+}
+
+// blockCtx is one hardware thread-block slot.
+type blockCtx struct {
+	live        bool
+	ctaID       int
+	smem        []byte
+	activeWarps int // warps not yet finished
+	arrived     int // warps waiting at the current barrier
+	env         warp.Env
+}
+
+// SM is one streaming multiprocessor.
+type SM struct {
+	ID  int
+	cfg *config.Config
+
+	launch        *kernel.Launch
+	occ           core.Occupancy
+	shr           *core.Manager
+	warpsPerBlock int
+
+	warps  []warpCtx
+	blocks []blockCtx
+	scheds []sched.Scheduler
+	// schedWarps[i] lists the warp slots scheduler i manages.
+	schedWarps [][]int
+
+	l1       *cache.Cache
+	mshr     map[uint32][]*loadGroup
+	memSys   *mem.System
+	wbQueue  map[int64][]wbEvent
+	lsuBusy  int64 // LSU blocked until this cycle (bank conflicts)
+	sfuBusy  int64
+	dynProb  float64
+	rng      uint64
+	nextDyn  int64
+	finished []int // block slots that completed this cycle
+
+	// futureShared[pc], when non-nil, is false iff no instruction
+	// reachable from pc touches the shared register pool — the early-
+	// release extension (§VIII) drops a warp's pair lock the moment its
+	// PC reaches such a point.
+	futureShared []bool
+
+	Stats stats.SM
+
+	// scratch buffers reused across cycles
+	infoBuf  []sched.WarpInfo
+	orderBuf []int
+	lineBuf  []uint32
+	regBuf   []int
+}
+
+// New builds an SM for a kernel launch. The sharing manager governs the
+// pair slots defined by the occupancy.
+func New(id int, cfg *config.Config, l *kernel.Launch, occ core.Occupancy, ms *mem.System) *SM {
+	k := l.Kernel
+	if k.RegsPerThread > 64 {
+		panic(fmt.Sprintf("kernel %s: %d registers/thread exceeds the scoreboard's 64-register limit",
+			k.Name, k.RegsPerThread))
+	}
+	wpb := k.WarpsPerBlock()
+	sm := &SM{
+		ID:            id,
+		cfg:           cfg,
+		launch:        l,
+		occ:           occ,
+		shr:           core.NewManager(cfg, occ, wpb),
+		warpsPerBlock: wpb,
+		warps:         make([]warpCtx, occ.Max*wpb),
+		blocks:        make([]blockCtx, occ.Max),
+		l1:            cache.NewWithPolicy(cfg.L1Sets, cfg.L1Ways, cfg.L1LineSz, cfg.L1Policy),
+		mshr:          make(map[uint32][]*loadGroup),
+		memSys:        ms,
+		wbQueue:       make(map[int64][]wbEvent),
+		dynProb:       1,
+		rng:           cfg.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15,
+	}
+	if cfg.DynWarp && id == 0 {
+		// SM0 is the reference SM: non-owner memory instructions are
+		// disabled on it (§IV-C).
+		sm.dynProb = 0
+	}
+	if cfg.EarlyRegRelease && cfg.Sharing == config.ShareRegisters && occ.Pairs > 0 {
+		sm.futureShared = liveness.FutureSharedUse(k, occ.PrivateRegs)
+	}
+	for i := range sm.warps {
+		sm.warps[i].w = warp.NewState(k.RegsPerThread, 0)
+		sm.warps[i].w.ID = i
+	}
+	for i := 0; i < cfg.NumSchedulers; i++ {
+		sm.scheds = append(sm.scheds, sched.New(cfg.Sched, cfg.TwoLevelGroup))
+		sm.schedWarps = append(sm.schedWarps, nil)
+	}
+	for ws := range sm.warps {
+		s := ws % cfg.NumSchedulers
+		sm.schedWarps[s] = append(sm.schedWarps[s], ws)
+	}
+	return sm
+}
+
+// Occupancy returns the SM's occupancy plan.
+func (sm *SM) Occupancy() core.Occupancy { return sm.occ }
+
+// L1Stats returns the SM's L1 cache counters.
+func (sm *SM) L1Stats() *stats.Cache { return &sm.l1.Stats }
+
+// Sharing returns the SM's sharing manager (for tests).
+func (sm *SM) Sharing() *core.Manager { return sm.shr }
+
+// SetDynProb sets the probability of issuing non-owner memory
+// instructions (dynamic warp execution controller).
+func (sm *SM) SetDynProb(p float64) {
+	if sm.cfg.DynWarp && sm.ID == 0 {
+		return // the reference SM stays disabled
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	sm.dynProb = p
+	sm.Stats.DynProbFinal = p
+}
+
+// DynProb returns the current non-owner memory issue probability.
+func (sm *SM) DynProb() float64 { return sm.dynProb }
+
+// ActiveBlocks returns the number of live thread blocks.
+func (sm *SM) ActiveBlocks() int {
+	n := 0
+	for i := range sm.blocks {
+		if sm.blocks[i].live {
+			n++
+		}
+	}
+	return n
+}
+
+// FinishedSlots returns and clears the block slots that completed since
+// the last call; the dispatcher refills them.
+func (sm *SM) FinishedSlots() []int {
+	s := sm.finished
+	sm.finished = nil
+	return s
+}
+
+// LaunchBlock installs CTA ctaID into the given block slot. New blocks in
+// a pair slot whose partner is live start as non-owner (ownership is
+// already held by the surviving partner after a transfer).
+func (sm *SM) LaunchBlock(slot, ctaID int) {
+	k := sm.launch.Kernel
+	b := &sm.blocks[slot]
+	if b.live {
+		panic(fmt.Sprintf("SM%d: double launch into live slot %d", sm.ID, slot))
+	}
+	*b = blockCtx{
+		live:        true,
+		ctaID:       ctaID,
+		smem:        b.smem,
+		activeWarps: sm.warpsPerBlock,
+	}
+	if k.SmemPerBlock > 0 {
+		if b.smem == nil || len(b.smem) < k.SmemPerBlock+4 {
+			// +4 tolerates word access at the last byte
+			b.smem = make([]byte, k.SmemPerBlock+4)
+		} else {
+			clear(b.smem)
+		}
+	}
+	ctaX, ctaY := ctaID, 0
+	if sm.launch.GridDimY > 1 {
+		ctaX, ctaY = ctaID%sm.launch.GridDim, ctaID/sm.launch.GridDim
+	}
+	b.env = warp.Env{
+		CtaID:     ctaX,
+		CtaIDY:    ctaY,
+		GridDim:   sm.launch.GridDim,
+		GridDimY:  sm.launch.GridDimY,
+		BlockDim:  k.BlockDim,
+		BlockDimY: k.BlockDimY,
+		Params:    sm.launch.Params,
+		Gmem:      sm.memSys.Global,
+		Smem:      b.smem,
+	}
+	threadsLeft := k.Threads()
+	for wi := 0; wi < sm.warpsPerBlock; wi++ {
+		lanes := min(threadsLeft, kernel.WarpSize)
+		threadsLeft -= lanes
+		wc := &sm.warps[slot*sm.warpsPerBlock+wi]
+		wc.w.Reset(warp.LanesMask(lanes))
+		wc.w.BlockSlot = slot
+		wc.w.WarpInCta = wi
+		wc.w.DynID = sm.nextDyn
+		sm.nextDyn++
+		wc.live = true
+		wc.finished = false
+		wc.atBarrier = false
+		wc.pendingRegs = 0
+		wc.pendingPreds = 0
+		wc.loadRegs = 0
+		wc.gen++
+	}
+	sm.Stats.BlocksLaunched++
+	if sm.shr.Shared(slot) {
+		sm.Stats.BlocksShared++
+	}
+	if n := sm.ActiveBlocks(); n > sm.Stats.MaxResidentTB {
+		sm.Stats.MaxResidentTB = n
+	}
+}
+
+// Idle reports whether the SM has no live blocks.
+func (sm *SM) Idle() bool { return sm.ActiveBlocks() == 0 }
+
+// rand64 steps the SM's splitmix64 PRNG.
+func (sm *SM) rand64() uint64 {
+	sm.rng += 0x9e3779b97f4a7c15
+	z := sm.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// randFloat returns a uniform float in [0,1).
+func (sm *SM) randFloat() float64 {
+	return float64(sm.rand64()>>11) / (1 << 53)
+}

@@ -1,0 +1,450 @@
+package smcore
+
+import (
+	"gpushare/internal/core"
+	"gpushare/internal/isa"
+	"gpushare/internal/kernel"
+	"gpushare/internal/mem"
+	"gpushare/internal/sched"
+	"gpushare/internal/warp"
+)
+
+// Tick advances the SM one cycle: retire writebacks and memory replies,
+// then let each scheduler issue at most one instruction, then classify
+// the cycle as productive, stalled, or idle.
+//
+// The split follows the paper's definitions: a no-issue cycle is a
+// *stall* (pipeline stall) when some warp was blocked structurally —
+// execution-unit or LSU conflicts, MSHR exhaustion, shared-resource lock
+// waits, the dynamic-warp-execution gate; it is *idle* when every warp
+// had already issued its work and was only waiting for results ("all
+// the available warps are issued, but no warp is ready to execute") or
+// had nothing to run at all.
+func (sm *SM) Tick(now int64) {
+	sm.drainReplies(now)
+	sm.processWritebacks(now)
+
+	if sm.Idle() {
+		return
+	}
+	sm.Stats.Cycles++
+
+	issued := 0
+	sawStructural := false
+	memUsed := false
+	sfuUsed := false
+
+	for si, sc := range sm.scheds {
+		info := sm.buildInfo(si)
+		order := sc.Order(info, sm.orderBuf[:0])
+		sm.orderBuf = order[:0]
+		for _, slot := range order {
+			ok, blocked := sm.tryIssue(slot, now, &memUsed, &sfuUsed)
+			if ok {
+				sc.Issued(slot)
+				issued++
+				break
+			}
+			if blocked == blockStructural {
+				sawStructural = true
+			}
+		}
+	}
+
+	if issued == 0 {
+		if sawStructural {
+			sm.Stats.StallCycles++
+		} else {
+			sm.Stats.IdleCycles++
+		}
+	}
+	for i := range sm.warps {
+		if sm.warps[i].live && sm.warps[i].atBarrier {
+			sm.Stats.BarrierWaits++
+		}
+	}
+}
+
+// buildInfo assembles the scheduler view of one scheduler's warps.
+func (sm *SM) buildInfo(si int) []sched.WarpInfo {
+	info := sm.infoBuf[:0]
+	for _, ws := range sm.schedWarps[si] {
+		wc := &sm.warps[ws]
+		wi := sched.WarpInfo{Slot: ws}
+		if wc.live && !wc.finished && !wc.atBarrier {
+			wi.HasWork = true
+			wi.DynID = wc.w.DynID
+			wi.Category = sm.shr.Category(wc.w.BlockSlot)
+			if pc, _, ok := wc.w.PC(); ok {
+				// Early release (§VIII extension): once no reachable
+				// instruction can touch the shared pool, drop the pair
+				// lock so the partner warp may proceed.
+				if sm.futureShared != nil && !sm.futureShared[pc] {
+					bs := wc.w.BlockSlot
+					if sm.shr.Shared(bs) && sm.shr.HoldsRegLock(bs, wc.w.WarpInCta) {
+						sm.shr.ReleaseReg(bs, wc.w.WarpInCta)
+						sm.Stats.EarlyRegRelease++
+					}
+				}
+				in := &sm.launch.Kernel.Instrs[pc]
+				need, _ := sm.dependencyMasks(in)
+				wi.WaitingLong = need&wc.loadRegs != 0
+			}
+		}
+		info = append(info, wi)
+	}
+	sm.infoBuf = info[:0]
+	return info
+}
+
+// dependencyMasks returns the GPR and predicate scoreboard bits the
+// instruction depends on (sources and destinations, for RAW and WAW).
+func (sm *SM) dependencyMasks(in *isa.Instr) (regs uint64, preds uint8) {
+	sm.regBuf = in.Regs(sm.regBuf[:0])
+	for _, r := range sm.regBuf {
+		regs |= 1 << uint(r)
+	}
+	if in.Guarded() {
+		preds |= 1 << uint(in.GuardPred)
+	}
+	if in.Dst.Kind == isa.OpPred {
+		preds |= 1 << in.Dst.Reg
+	}
+	if in.Op == isa.SELP {
+		preds |= 1 << in.C.Reg
+	}
+	return regs, preds
+}
+
+// Issue-block classes: not a candidate at all, waiting on data (an
+// in-flight result), or blocked structurally.
+const (
+	blockNone = iota
+	blockData
+	blockStructural
+)
+
+// tryIssue attempts to issue the next instruction of warp slot ws.
+// It returns (issued, blocked): blocked classifies why a candidate warp
+// could not issue, which drives the stall/idle split.
+func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int) {
+	wc := &sm.warps[ws]
+	if !wc.live || wc.finished || wc.atBarrier {
+		return false, blockNone
+	}
+	pc, _, ok := wc.w.PC()
+	if !ok {
+		return false, blockNone
+	}
+	in := &sm.launch.Kernel.Instrs[pc]
+	bs := wc.w.BlockSlot
+	b := &sm.blocks[bs]
+
+	// Scoreboard: RAW on pending writes, WAW on the destination. The
+	// warp has issued everything before this instruction and waits for
+	// a result: a data wait, not a pipeline stall.
+	needRegs, needPreds := sm.dependencyMasks(in)
+	if needRegs&wc.pendingRegs != 0 || needPreds&wc.pendingPreds != 0 {
+		sm.Stats.BlockScoreboard++
+		return false, blockData
+	}
+
+	// Structural hazards.
+	switch isa.UnitOf(in.Op) {
+	case isa.UnitSFU:
+		if *sfuUsed {
+			sm.Stats.BlockUnit++
+			return false, blockStructural
+		}
+	case isa.UnitMEM:
+		if *memUsed || now < sm.lsuBusy {
+			sm.Stats.BlockUnit++
+			return false, blockStructural
+		}
+		if isa.IsGlobalMem(in.Op) && len(sm.mshr) >= sm.cfg.L1MSHRs {
+			sm.Stats.BlockMemPipe++
+			return false, blockStructural
+		}
+	}
+
+	// Register sharing: instructions touching the shared register pool
+	// need the warp-pair lock (Fig. 3).
+	if sm.shr.RegNeedsLock(bs, in) {
+		if !sm.shr.TryAcquireReg(bs, wc.w.WarpInCta) {
+			sm.Stats.BlockLockWait++
+			sm.Stats.SharedRegWaits++
+			return false, blockStructural
+		}
+	}
+
+	// Scratchpad sharing: accesses into the shared region need the
+	// block-pair lock (Fig. 4).
+	var smemAddrs [kernel.WarpSize]uint32
+	var smemActive uint32
+	if isa.IsSharedMem(in.Op) {
+		smemActive = wc.w.EffAddrs(in, &b.env, &smemAddrs)
+		if sm.shr.SmemNeedsLock(bs, &smemAddrs, smemActive) {
+			if !sm.shr.TryAcquireSmem(bs) {
+				sm.Stats.BlockLockWait++
+				sm.Stats.SharedMemWaits++
+				return false, blockStructural
+			}
+		}
+	}
+
+	// Dynamic warp execution: probabilistically gate global-memory
+	// instructions from non-owner warps (§IV-C).
+	if sm.cfg.DynWarp && isa.IsGlobalMem(in.Op) &&
+		sm.shr.Category(bs) == core.CatNonOwner {
+		if sm.dynProb <= 0 || sm.randFloat() >= sm.dynProb {
+			sm.Stats.BlockDynGate++
+			return false, blockStructural
+		}
+	}
+
+	// All checks passed: execute functionally and model timing.
+	res := wc.w.Execute(in, &b.env)
+	sm.Stats.WarpInstrs++
+	sm.Stats.ThreadInstrs += int64(warp.PopCount(res.Active))
+
+	switch {
+	case res.Kind == warp.ResBarrier:
+		if !res.Finished {
+			wc.atBarrier = true
+			b.arrived++
+			sm.checkBarrier(bs)
+		}
+	case in.Op == isa.BRA, in.Op == isa.EXIT, in.Op == isa.NOP:
+		// Control instructions retire immediately.
+	case isa.IsSharedMem(in.Op):
+		*memUsed = true
+		deg := mem.BankConflictDegree(&smemAddrs, smemActive, sm.cfg.SmemBanks)
+		sm.Stats.BankConflicts += int64(deg - 1)
+		sm.lsuBusy = now + int64(deg-1)
+		if in.Op == isa.LDS {
+			lat := int64(sm.cfg.SmemLat + deg - 1)
+			sm.scheduleWB(now+lat, ws, wc.gen, 1<<in.Dst.Reg, 0, nil)
+			wc.pendingRegs |= 1 << in.Dst.Reg
+		}
+	case in.Op == isa.LDG:
+		*memUsed = true
+		sm.issueGlobalLoad(ws, wc, in, res, now)
+	case in.Op == isa.STG:
+		*memUsed = true
+		sm.issueGlobalStore(res, now)
+	default:
+		// SP / SFU arithmetic.
+		lat := int64(sm.cfg.SPLat)
+		if isa.UnitOf(in.Op) == isa.UnitSFU {
+			lat = int64(sm.cfg.SFULat)
+			*sfuUsed = true
+		}
+		lat += sm.rfConflictCycles(in)
+		regs, preds := uint64(0), uint8(0)
+		if r, hasDst := in.DstReg(); hasDst {
+			regs = 1 << uint(r)
+		}
+		if in.Dst.Kind == isa.OpPred {
+			preds = 1 << in.Dst.Reg
+		}
+		if regs != 0 || preds != 0 {
+			wc.pendingRegs |= regs
+			wc.pendingPreds |= preds
+			sm.scheduleWB(now+lat, ws, wc.gen, regs, preds, nil)
+		}
+	}
+
+	if res.Finished {
+		sm.warpFinished(ws)
+	}
+	return true, blockNone
+}
+
+// issueGlobalLoad coalesces a load into line transactions and routes each
+// through the L1 / MSHR / memory system.
+func (sm *SM) issueGlobalLoad(ws int, wc *warpCtx, in *isa.Instr, res warp.Result, now int64) {
+	dstMask := uint64(1) << in.Dst.Reg
+	lines := mem.Coalesce(res.GlobalAddrs, res.Active, sm.cfg.L1LineSz, sm.lineBuf[:0])
+	sm.lineBuf = lines[:0]
+	sm.Stats.CoalescedAccess += int64(len(lines))
+	if len(lines) == 0 { // fully guarded off
+		wc.pendingRegs |= dstMask
+		sm.scheduleWB(now+1, ws, wc.gen, dstMask, 0, nil)
+		return
+	}
+	wc.pendingRegs |= dstMask
+	wc.loadRegs |= dstMask
+	group := &loadGroup{warpSlot: ws, remaining: len(lines), regMask: dstMask, gen: wc.gen}
+	for _, line := range lines {
+		if sm.cfg.L1Disable {
+			sm.sendOrMerge(line, group, now)
+			continue
+		}
+		if sm.l1.Probe(line) {
+			sm.scheduleWB(now+int64(sm.cfg.L1HitLat), ws, wc.gen, 0, 0, group)
+			continue
+		}
+		sm.sendOrMerge(line, group, now)
+	}
+}
+
+// sendOrMerge allocates an MSHR entry for the line or merges into an
+// outstanding one.
+func (sm *SM) sendOrMerge(line uint32, group *loadGroup, now int64) {
+	if waiters, pending := sm.mshr[line]; pending {
+		sm.l1.Stats.MSHRMerg++
+		sm.mshr[line] = append(waiters, group)
+		return
+	}
+	sm.mshr[line] = []*loadGroup{group}
+	sm.memSys.Send(&mem.LineRequest{LineAddr: line, SM: sm.ID}, now)
+}
+
+// issueGlobalStore applies the write-evict L1 policy and forwards write
+// traffic to the memory system. Stores retire immediately (no fence).
+func (sm *SM) issueGlobalStore(res warp.Result, now int64) {
+	lines := mem.Coalesce(res.GlobalAddrs, res.Active, sm.cfg.L1LineSz, sm.lineBuf[:0])
+	sm.lineBuf = lines[:0]
+	sm.Stats.CoalescedAccess += int64(len(lines))
+	for _, line := range lines {
+		if !sm.cfg.L1Disable {
+			sm.l1.Probe(line)
+			sm.l1.Invalidate(line)
+		}
+		sm.memSys.Send(&mem.LineRequest{LineAddr: line, IsWrite: true, SM: sm.ID}, now)
+	}
+}
+
+// scheduleWB enqueues a writeback event.
+func (sm *SM) scheduleWB(at int64, ws int, gen uint32, regs uint64, preds uint8, group *loadGroup) {
+	sm.wbQueue[at] = append(sm.wbQueue[at], wbEvent{
+		warpSlot: ws, gen: gen, regMask: regs, predMask: preds, group: group,
+	})
+}
+
+// processWritebacks retires the events scheduled for this cycle.
+func (sm *SM) processWritebacks(now int64) {
+	evs, ok := sm.wbQueue[now]
+	if !ok {
+		return
+	}
+	delete(sm.wbQueue, now)
+	for _, ev := range evs {
+		if ev.group != nil {
+			sm.completeGroupPart(ev.group)
+			continue
+		}
+		wc := &sm.warps[ev.warpSlot]
+		if wc.gen != ev.gen {
+			continue // slot was recycled; the event belongs to a dead warp
+		}
+		wc.pendingRegs &^= ev.regMask
+		wc.pendingPreds &^= ev.predMask
+	}
+}
+
+// completeGroupPart retires one line of a load group, clearing the
+// destination scoreboard bits when the last line lands.
+func (sm *SM) completeGroupPart(g *loadGroup) {
+	g.remaining--
+	if g.remaining > 0 {
+		return
+	}
+	wc := &sm.warps[g.warpSlot]
+	if wc.gen != g.gen {
+		return
+	}
+	wc.pendingRegs &^= g.regMask
+	wc.loadRegs &^= g.regMask
+}
+
+// drainReplies pulls at most one memory reply per cycle (reply-network
+// ejection bandwidth), fills the L1, and completes merged loads.
+func (sm *SM) drainReplies(now int64) {
+	req := sm.memSys.PopReply(sm.ID, now)
+	if req == nil {
+		return
+	}
+	if !sm.cfg.L1Disable {
+		sm.l1.Fill(req.LineAddr)
+	}
+	groups := sm.mshr[req.LineAddr]
+	delete(sm.mshr, req.LineAddr)
+	for _, g := range groups {
+		sm.completeGroupPart(g)
+	}
+}
+
+// checkBarrier releases the block's barrier once every unfinished warp
+// has arrived (finished warps do not participate, as in CUDA).
+func (sm *SM) checkBarrier(bs int) {
+	b := &sm.blocks[bs]
+	if !b.live || b.arrived < b.activeWarps {
+		return
+	}
+	b.arrived = 0
+	for wi := 0; wi < sm.warpsPerBlock; wi++ {
+		wc := &sm.warps[bs*sm.warpsPerBlock+wi]
+		if wc.live && !wc.finished {
+			wc.atBarrier = false
+		}
+	}
+}
+
+// warpFinished handles a warp's completion: sharing locks release, the
+// block's barrier may unblock, and the block may complete.
+func (sm *SM) warpFinished(ws int) {
+	wc := &sm.warps[ws]
+	wc.finished = true
+	bs := wc.w.BlockSlot
+	sm.shr.WarpFinished(bs, wc.w.WarpInCta)
+	b := &sm.blocks[bs]
+	b.activeWarps--
+	if b.activeWarps > 0 {
+		sm.checkBarrier(bs)
+		return
+	}
+	// Block complete.
+	b.live = false
+	partner := sm.shr.PartnerSlot(bs)
+	partnerLive := partner >= 0 && sm.blocks[partner].live
+	sm.shr.BlockFinished(bs, partnerLive)
+	sm.finished = append(sm.finished, bs)
+}
+
+// FinalizeStats copies sharing-manager counters into the SM statistics.
+func (sm *SM) FinalizeStats() {
+	sm.Stats.LockAcquires = sm.shr.LockAcquires
+	sm.Stats.OwnershipXfers = sm.shr.OwnershipXfers
+	sm.Stats.DynProbFinal = sm.dynProb
+}
+
+// PendingWork reports whether the SM still has in-flight writebacks or
+// outstanding memory requests (used for end-of-run draining assertions).
+func (sm *SM) PendingWork() bool {
+	return len(sm.wbQueue) > 0 || len(sm.mshr) > 0
+}
+
+// rfConflictCycles returns the extra operand-read cycles caused by
+// register-file bank conflicts (Fig. 3's banked register file), when the
+// model is enabled: source registers mapping to the same bank serialize.
+func (sm *SM) rfConflictCycles(in *isa.Instr) int64 {
+	nb := sm.cfg.RFBanks
+	if nb <= 0 {
+		return 0
+	}
+	sm.regBuf = in.SrcRegs(sm.regBuf[:0])
+	if len(sm.regBuf) < 2 {
+		return 0
+	}
+	var seen uint64
+	extra := int64(0)
+	for _, r := range sm.regBuf {
+		bank := uint64(1) << uint(r%nb)
+		if seen&bank != 0 {
+			extra++
+		}
+		seen |= bank
+	}
+	return extra
+}

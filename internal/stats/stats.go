@@ -1,0 +1,191 @@
+// Package stats collects and reports simulation counters: instructions,
+// cycles, stall/idle breakdowns, cache and DRAM behaviour — the metrics
+// the paper reports (IPC, stall cycles, idle cycles, L1/L2 misses).
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// SM holds per-SM counters.
+type SM struct {
+	Cycles       int64 // cycles the SM was active (kernel resident)
+	WarpInstrs   int64 // warp instructions issued
+	ThreadInstrs int64 // thread instructions (warp instrs x active lanes)
+	StallCycles  int64 // no issue, but some warp had a blocked instruction
+	IdleCycles   int64 // no issue and no warp had an issueable instruction
+
+	// Issue-blocking reasons, counted per blocked warp-consideration.
+	BlockScoreboard int64 // RAW/WAW hazard on a pending write
+	BlockUnit       int64 // execution unit pipe busy
+	BlockLockWait   int64 // waiting for a shared-resource lock
+	BlockDynGate    int64 // memory instruction gated by dynamic warp exec
+	BlockMemPipe    int64 // LSU queue full / MSHRs exhausted
+
+	BlocksLaunched  int64 // thread blocks dispatched to this SM
+	BlocksShared    int64 // blocks launched in sharing mode
+	MaxResidentTB   int   // peak resident thread blocks
+	OwnershipXfers  int64 // pair ownership transfers
+	EarlyRegRelease int64 // shared-register locks released by liveness (§VIII ext.)
+	LockAcquires    int64 // shared-resource lock acquisitions
+	BarrierWaits    int64 // warp-cycles spent waiting at barriers
+	DynProbFinal    float64
+	SharedRegWaits  int64 // warp stalls on shared registers
+	SharedMemWaits  int64 // warp stalls on shared scratchpad
+	BankConflicts   int64 // extra scratchpad cycles from bank conflicts
+	CoalescedAccess int64 // global-memory line transactions generated
+}
+
+// Cache holds hit/miss counters for one cache.
+type Cache struct {
+	Accesses int64
+	Hits     int64
+	Misses   int64
+	MSHRMerg int64 // misses merged into an outstanding line request
+	Evicts   int64
+}
+
+// MissRate returns misses/accesses, or 0 for an untouched cache.
+func (c *Cache) MissRate() float64 {
+	if c.Accesses == 0 {
+		return 0
+	}
+	return float64(c.Misses) / float64(c.Accesses)
+}
+
+// Add accumulates other into c.
+func (c *Cache) Add(other *Cache) {
+	c.Accesses += other.Accesses
+	c.Hits += other.Hits
+	c.Misses += other.Misses
+	c.MSHRMerg += other.MSHRMerg
+	c.Evicts += other.Evicts
+}
+
+// DRAM holds DRAM counters for one partition.
+type DRAM struct {
+	Reads     int64
+	Writes    int64
+	RowHits   int64
+	RowMisses int64
+}
+
+// Add accumulates other into d.
+func (d *DRAM) Add(other *DRAM) {
+	d.Reads += other.Reads
+	d.Writes += other.Writes
+	d.RowHits += other.RowHits
+	d.RowMisses += other.RowMisses
+}
+
+// GPU aggregates the whole run.
+type GPU struct {
+	Cycles int64 // GPU cycles from launch to grid completion
+
+	SMs  []SM
+	L1   Cache // summed over SMs
+	L2   Cache // summed over partitions
+	DRAM DRAM  // summed over partitions
+
+	ResidentTB int // resident thread blocks per SM at steady state
+}
+
+// TotalThreadInstrs sums thread instructions over all SMs.
+func (g *GPU) TotalThreadInstrs() int64 {
+	var n int64
+	for i := range g.SMs {
+		n += g.SMs[i].ThreadInstrs
+	}
+	return n
+}
+
+// TotalWarpInstrs sums warp instructions over all SMs.
+func (g *GPU) TotalWarpInstrs() int64 {
+	var n int64
+	for i := range g.SMs {
+		n += g.SMs[i].WarpInstrs
+	}
+	return n
+}
+
+// IPC returns thread instructions per GPU cycle — the paper's headline
+// metric (its IPC counts per-thread instructions; e.g. ~500 for hotspot
+// on a 14-SM, dual-issue, 32-lane configuration).
+func (g *GPU) IPC() float64 {
+	if g.Cycles == 0 {
+		return 0
+	}
+	return float64(g.TotalThreadInstrs()) / float64(g.Cycles)
+}
+
+// StallCycles sums stall cycles over all SMs.
+func (g *GPU) StallCycles() int64 {
+	var n int64
+	for i := range g.SMs {
+		n += g.SMs[i].StallCycles
+	}
+	return n
+}
+
+// IdleCycles sums idle cycles over all SMs.
+func (g *GPU) IdleCycles() int64 {
+	var n int64
+	for i := range g.SMs {
+		n += g.SMs[i].IdleCycles
+	}
+	return n
+}
+
+// PercentChange returns (new-old)/old*100, or 0 when old is 0.
+func PercentChange(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (new - old) / old * 100
+}
+
+// PercentDecrease returns (old-new)/old*100, or 0 when old is 0.
+func PercentDecrease(old, new float64) float64 {
+	if old == 0 {
+		return 0
+	}
+	return (old - new) / old * 100
+}
+
+// Report renders a human-readable run summary.
+func (g *GPU) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cycles            %12d\n", g.Cycles)
+	fmt.Fprintf(&b, "warp instructions %12d\n", g.TotalWarpInstrs())
+	fmt.Fprintf(&b, "thread instrs     %12d\n", g.TotalThreadInstrs())
+	fmt.Fprintf(&b, "IPC               %12.2f\n", g.IPC())
+	fmt.Fprintf(&b, "stall cycles      %12d\n", g.StallCycles())
+	fmt.Fprintf(&b, "idle cycles       %12d\n", g.IdleCycles())
+	fmt.Fprintf(&b, "resident TB/SM    %12d\n", g.ResidentTB)
+	fmt.Fprintf(&b, "L1  acc/hit/miss  %8d %8d %8d (%.1f%% miss)\n",
+		g.L1.Accesses, g.L1.Hits, g.L1.Misses, g.L1.MissRate()*100)
+	fmt.Fprintf(&b, "L2  acc/hit/miss  %8d %8d %8d (%.1f%% miss)\n",
+		g.L2.Accesses, g.L2.Hits, g.L2.Misses, g.L2.MissRate()*100)
+	fmt.Fprintf(&b, "DRAM rd/wr        %8d %8d  row hit %.1f%%\n",
+		g.DRAM.Reads, g.DRAM.Writes, g.DRAMRowHitRate()*100)
+	var locks, xfers int64
+	for i := range g.SMs {
+		locks += g.SMs[i].LockAcquires
+		xfers += g.SMs[i].OwnershipXfers
+	}
+	if locks > 0 || xfers > 0 {
+		fmt.Fprintf(&b, "lock acquires     %12d\n", locks)
+		fmt.Fprintf(&b, "ownership xfers   %12d\n", xfers)
+	}
+	return b.String()
+}
+
+// DRAMRowHitRate returns the row-buffer hit rate.
+func (g *GPU) DRAMRowHitRate() float64 {
+	total := g.DRAM.RowHits + g.DRAM.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(g.DRAM.RowHits) / float64(total)
+}

@@ -1,0 +1,85 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestIPCAndAggregation(t *testing.T) {
+	g := &GPU{Cycles: 100}
+	g.SMs = []SM{
+		{ThreadInstrs: 3000, WarpInstrs: 100, StallCycles: 10, IdleCycles: 5},
+		{ThreadInstrs: 1000, WarpInstrs: 40, StallCycles: 2, IdleCycles: 1},
+	}
+	if got := g.IPC(); got != 40 {
+		t.Errorf("IPC = %v, want 40", got)
+	}
+	if g.TotalWarpInstrs() != 140 || g.TotalThreadInstrs() != 4000 {
+		t.Error("totals wrong")
+	}
+	if g.StallCycles() != 12 || g.IdleCycles() != 6 {
+		t.Error("stall/idle sums wrong")
+	}
+	empty := &GPU{}
+	if empty.IPC() != 0 {
+		t.Error("zero-cycle IPC must be 0")
+	}
+}
+
+func TestCacheAndDRAMHelpers(t *testing.T) {
+	c := Cache{Accesses: 10, Hits: 7, Misses: 3}
+	if got := c.MissRate(); got != 0.3 {
+		t.Errorf("miss rate = %v", got)
+	}
+	var zero Cache
+	if zero.MissRate() != 0 {
+		t.Error("empty cache miss rate must be 0")
+	}
+	c2 := Cache{Accesses: 1, Hits: 1}
+	c2.Add(&c)
+	if c2.Accesses != 11 || c2.Hits != 8 || c2.Misses != 3 {
+		t.Errorf("Add wrong: %+v", c2)
+	}
+
+	d := DRAM{Reads: 5, Writes: 2, RowHits: 6, RowMisses: 2}
+	var sum DRAM
+	sum.Add(&d)
+	sum.Add(&d)
+	if sum.Reads != 10 || sum.RowHits != 12 {
+		t.Errorf("DRAM add wrong: %+v", sum)
+	}
+	g := &GPU{DRAM: d}
+	if got := g.DRAMRowHitRate(); got != 0.75 {
+		t.Errorf("row hit rate = %v", got)
+	}
+	if (&GPU{}).DRAMRowHitRate() != 0 {
+		t.Error("empty DRAM rate must be 0")
+	}
+}
+
+func TestPercentHelpers(t *testing.T) {
+	if got := PercentChange(100, 120); got != 20 {
+		t.Errorf("PercentChange = %v", got)
+	}
+	if got := PercentChange(0, 10); got != 0 {
+		t.Errorf("PercentChange from 0 = %v", got)
+	}
+	if got := PercentDecrease(200, 150); got != 25 {
+		t.Errorf("PercentDecrease = %v", got)
+	}
+	if got := PercentDecrease(0, 5); got != 0 {
+		t.Errorf("PercentDecrease from 0 = %v", got)
+	}
+}
+
+func TestReportContainsKeyMetrics(t *testing.T) {
+	g := &GPU{Cycles: 50, ResidentTB: 4}
+	g.SMs = []SM{{ThreadInstrs: 100, WarpInstrs: 10, LockAcquires: 3, OwnershipXfers: 1}}
+	g.L1 = Cache{Accesses: 4, Hits: 2, Misses: 2}
+	out := g.Report()
+	for _, want := range []string{"IPC", "stall cycles", "idle cycles", "L1", "L2", "DRAM", "lock acquires"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}

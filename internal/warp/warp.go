@@ -1,0 +1,359 @@
+package warp
+
+import (
+	"fmt"
+	"math/bits"
+
+	"gpushare/internal/isa"
+	"gpushare/internal/kernel"
+)
+
+// GlobalMem is the interface the executor uses to touch global memory.
+// The simulator's paged backing store implements it.
+type GlobalMem interface {
+	Load32(addr uint32) uint32
+	Store32(addr uint32, v uint32)
+}
+
+// Env supplies everything outside the warp needed to execute: block
+// coordinates, kernel arguments, and the memory spaces. The y dimensions
+// default to 1 (a zero value is treated as 1).
+type Env struct {
+	CtaID     int // block x-index in the grid
+	CtaIDY    int // block y-index
+	GridDim   int // grid x dimension in blocks
+	GridDimY  int
+	BlockDim  int // block x dimension in threads
+	BlockDimY int
+	Params    []uint32
+	Gmem      GlobalMem
+	Smem      []byte // this block's scratchpad
+}
+
+// dimY returns the effective y block dimension.
+func (e *Env) dimY() int {
+	if e.BlockDimY > 1 {
+		return e.BlockDimY
+	}
+	return 1
+}
+
+// ResultKind classifies what Execute did.
+type ResultKind uint8
+
+// Execute result kinds.
+const (
+	ResNormal  ResultKind = iota // ALU/memory instruction, PC advanced
+	ResBarrier                   // warp arrived at a barrier
+	ResExit                      // some or all lanes exited
+)
+
+// Result describes one executed instruction for the timing model.
+type Result struct {
+	Kind   ResultKind
+	Active uint32 // lanes that actually executed (guard applied)
+
+	// For global memory instructions: per-lane byte addresses, valid for
+	// lanes in Active. The timing model coalesces these into cache-line
+	// transactions.
+	GlobalAddrs *[kernel.WarpSize]uint32
+	// For scratchpad instructions: per-lane byte addresses within the
+	// block's scratchpad, used for bank-conflict modelling and the
+	// shared-region access check (Fig. 4 of the paper).
+	SharedAddrs *[kernel.WarpSize]uint32
+	IsStore     bool
+
+	Finished bool // warp has no live lanes left
+}
+
+// State is one warp's execution state.
+type State struct {
+	ID        int   // hardware warp slot within the SM
+	DynID     int64 // dynamic (launch-order) warp id; lower = older
+	BlockSlot int   // hardware block slot within the SM
+	WarpInCta int   // warp index within its thread block
+
+	Lanes uint32 // lanes that exist (last warp of a block may be partial)
+
+	simt  SIMT
+	regs  []uint32 // regsPerThread x 32, lane-major within a register
+	preds [kernel.MaxPredRegs]uint32
+
+	nregs int
+}
+
+// NewState allocates warp state for a kernel with nregs registers per
+// thread. lanes is the existence mask.
+func NewState(nregs int, lanes uint32) *State {
+	return &State{
+		Lanes: lanes,
+		simt:  NewSIMT(lanes),
+		regs:  make([]uint32, nregs*kernel.WarpSize),
+		nregs: nregs,
+	}
+}
+
+// Reset reinitializes the warp for a fresh block launch, reusing the
+// register backing store.
+func (w *State) Reset(lanes uint32) {
+	w.Lanes = lanes
+	w.simt = NewSIMT(lanes)
+	clear(w.regs)
+	clear(w.preds[:])
+}
+
+// Finished reports whether every lane has exited.
+func (w *State) Finished() bool { return w.simt.Done() }
+
+// PC returns the current PC and active mask; ok is false once finished.
+func (w *State) PC() (pc int, mask uint32, ok bool) {
+	if w.simt.Done() {
+		return 0, 0, false
+	}
+	pc, mask = w.simt.Top()
+	return pc, mask, true
+}
+
+// Reg returns the value of register r in the given lane.
+func (w *State) Reg(r, lane int) uint32 { return w.regs[r*kernel.WarpSize+lane] }
+
+// SetReg sets register r in the given lane.
+func (w *State) SetReg(r, lane int, v uint32) { w.regs[r*kernel.WarpSize+lane] = v }
+
+// Pred returns the mask of predicate register p.
+func (w *State) Pred(p int) uint32 { return w.preds[p] }
+
+// guardMask returns the lanes of mask that pass the instruction's guard.
+func (w *State) guardMask(in *isa.Instr, mask uint32) uint32 {
+	if !in.Guarded() {
+		return mask
+	}
+	pm := w.preds[in.GuardPred]
+	if in.GuardNeg {
+		pm = ^pm
+	}
+	return mask & pm
+}
+
+// readOperand evaluates a source operand for one lane.
+func (w *State) readOperand(o isa.Operand, lane int, env *Env) uint32 {
+	switch o.Kind {
+	case isa.OpReg:
+		return w.Reg(int(o.Reg), lane)
+	case isa.OpImm:
+		return uint32(o.Imm)
+	case isa.OpSpecial:
+		switch o.Spec {
+		case isa.SrTid:
+			t := w.WarpInCta*kernel.WarpSize + lane
+			if env.dimY() > 1 {
+				return uint32(t % env.BlockDim)
+			}
+			return uint32(t)
+		case isa.SrTidY:
+			return uint32((w.WarpInCta*kernel.WarpSize + lane) / env.BlockDim)
+		case isa.SrCtaid:
+			return uint32(env.CtaID)
+		case isa.SrCtaidY:
+			return uint32(env.CtaIDY)
+		case isa.SrNtid:
+			return uint32(env.BlockDim)
+		case isa.SrNtidY:
+			return uint32(env.dimY())
+		case isa.SrNctaid:
+			return uint32(env.GridDim)
+		case isa.SrNctaidY:
+			if env.GridDimY > 1 {
+				return uint32(env.GridDimY)
+			}
+			return 1
+		case isa.SrLane:
+			return uint32(lane)
+		case isa.SrWarpCta:
+			return uint32(w.WarpInCta)
+		}
+	}
+	return 0
+}
+
+// EffAddrs computes the effective per-lane byte addresses of a memory
+// instruction without executing it, for pre-issue checks (scratchpad
+// shared-region detection and coalescing cost estimation). It returns the
+// set of lanes that would execute after applying the guard.
+func (w *State) EffAddrs(in *isa.Instr, env *Env, addrs *[kernel.WarpSize]uint32) uint32 {
+	_, mask := w.simt.Top()
+	active := w.guardMask(in, mask)
+	for lane := 0; lane < kernel.WarpSize; lane++ {
+		if active&(1<<lane) == 0 {
+			continue
+		}
+		addrs[lane] = w.readOperand(in.A, lane, env) + uint32(in.Off)
+	}
+	return active
+}
+
+// Execute functionally executes the instruction at the warp's current PC
+// and advances control flow. The caller (the SM issue stage) is
+// responsible for having verified that in is the instruction at the
+// current PC and that all issue conditions hold.
+func (w *State) Execute(in *isa.Instr, env *Env) Result {
+	pc, mask := w.simt.Top()
+	_ = pc
+	active := w.guardMask(in, mask)
+	res := Result{Kind: ResNormal, Active: active}
+
+	switch in.Op {
+	case isa.BRA:
+		w.simt.Branch(active, in.Target, in.Reconv)
+		res.Finished = w.simt.Done()
+		return res
+
+	case isa.EXIT:
+		res.Kind = ResExit
+		res.Finished = w.simt.ExitLanes(active)
+		return res
+
+	case isa.BAR:
+		if w.simt.Depth() > 1 {
+			panic(fmt.Sprintf("warp %d: barrier executed while diverged (depth %d); "+
+				"kernels must only place bar.sync at convergence points", w.ID, w.simt.Depth()))
+		}
+		res.Kind = ResBarrier
+		w.simt.Advance()
+		res.Finished = w.simt.Done()
+		return res
+
+	case isa.SETP:
+		p := int(in.Dst.Reg)
+		var set uint32
+		for lane := 0; lane < kernel.WarpSize; lane++ {
+			if active&(1<<lane) == 0 {
+				continue
+			}
+			a := w.readOperand(in.A, lane, env)
+			bv := w.readOperand(in.B, lane, env)
+			if isa.EvalCmp(in.Cmp, a, bv) {
+				set |= 1 << lane
+			}
+		}
+		w.preds[p] = (w.preds[p] &^ active) | set
+
+	case isa.SELP:
+		d := int(in.Dst.Reg)
+		pm := w.preds[in.C.Reg]
+		for lane := 0; lane < kernel.WarpSize; lane++ {
+			if active&(1<<lane) == 0 {
+				continue
+			}
+			a := w.readOperand(in.A, lane, env)
+			bv := w.readOperand(in.B, lane, env)
+			var c uint32
+			if pm&(1<<lane) != 0 {
+				c = 1
+			}
+			w.SetReg(d, lane, isa.Eval(isa.SELP, a, bv, c))
+		}
+
+	case isa.LDP:
+		d := int(in.Dst.Reg)
+		v := env.Params[in.Off]
+		for lane := 0; lane < kernel.WarpSize; lane++ {
+			if active&(1<<lane) != 0 {
+				w.SetReg(d, lane, v)
+			}
+		}
+
+	case isa.LDG, isa.STG:
+		addrs := new([kernel.WarpSize]uint32)
+		for lane := 0; lane < kernel.WarpSize; lane++ {
+			if active&(1<<lane) == 0 {
+				continue
+			}
+			addrs[lane] = w.readOperand(in.A, lane, env) + uint32(in.Off)
+		}
+		if in.Op == isa.LDG {
+			d := int(in.Dst.Reg)
+			for lane := 0; lane < kernel.WarpSize; lane++ {
+				if active&(1<<lane) != 0 {
+					w.SetReg(d, lane, env.Gmem.Load32(addrs[lane]))
+				}
+			}
+		} else {
+			res.IsStore = true
+			for lane := 0; lane < kernel.WarpSize; lane++ {
+				if active&(1<<lane) != 0 {
+					env.Gmem.Store32(addrs[lane], w.readOperand(in.B, lane, env))
+				}
+			}
+		}
+		res.GlobalAddrs = addrs
+
+	case isa.LDS, isa.STS:
+		addrs := new([kernel.WarpSize]uint32)
+		for lane := 0; lane < kernel.WarpSize; lane++ {
+			if active&(1<<lane) == 0 {
+				continue
+			}
+			addrs[lane] = w.readOperand(in.A, lane, env) + uint32(in.Off)
+		}
+		if in.Op == isa.LDS {
+			d := int(in.Dst.Reg)
+			for lane := 0; lane < kernel.WarpSize; lane++ {
+				if active&(1<<lane) != 0 {
+					w.SetReg(d, lane, load32(env.Smem, addrs[lane]))
+				}
+			}
+		} else {
+			res.IsStore = true
+			for lane := 0; lane < kernel.WarpSize; lane++ {
+				if active&(1<<lane) != 0 {
+					store32(env.Smem, addrs[lane], w.readOperand(in.B, lane, env))
+				}
+			}
+		}
+		res.SharedAddrs = addrs
+
+	default: // plain ALU / SFU
+		d := int(in.Dst.Reg)
+		for lane := 0; lane < kernel.WarpSize; lane++ {
+			if active&(1<<lane) == 0 {
+				continue
+			}
+			a := w.readOperand(in.A, lane, env)
+			bv := w.readOperand(in.B, lane, env)
+			c := w.readOperand(in.C, lane, env)
+			w.SetReg(d, lane, isa.Eval(in.Op, a, bv, c))
+		}
+	}
+
+	w.simt.Advance()
+	res.Finished = w.simt.Done()
+	return res
+}
+
+// load32 reads a little-endian 32-bit word from scratchpad. Accesses are
+// clamped to word alignment; out-of-bounds accesses panic, as they denote
+// a kernel bug.
+func load32(b []byte, addr uint32) uint32 {
+	a := addr &^ 3
+	return uint32(b[a]) | uint32(b[a+1])<<8 | uint32(b[a+2])<<16 | uint32(b[a+3])<<24
+}
+
+func store32(b []byte, addr uint32, v uint32) {
+	a := addr &^ 3
+	b[a] = byte(v)
+	b[a+1] = byte(v >> 8)
+	b[a+2] = byte(v >> 16)
+	b[a+3] = byte(v >> 24)
+}
+
+// LanesMask returns a mask with the low n lanes set.
+func LanesMask(n int) uint32 {
+	if n >= kernel.WarpSize {
+		return ^uint32(0)
+	}
+	return 1<<n - 1
+}
+
+// PopCount returns the number of set lanes in a mask.
+func PopCount(m uint32) int { return bits.OnesCount32(m) }

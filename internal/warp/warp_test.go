@@ -1,0 +1,189 @@
+package warp
+
+import (
+	"testing"
+
+	"gpushare/internal/isa"
+	"gpushare/internal/kernel"
+)
+
+// fakeMem is a tiny GlobalMem for executor tests.
+type fakeMem struct{ m map[uint32]uint32 }
+
+func newFakeMem() *fakeMem                    { return &fakeMem{m: map[uint32]uint32{}} }
+func (f *fakeMem) Load32(a uint32) uint32     { return f.m[a&^3] }
+func (f *fakeMem) Store32(a uint32, v uint32) { f.m[a&^3] = v }
+
+func testEnv() (*Env, *fakeMem) {
+	fm := newFakeMem()
+	return &Env{
+		CtaID:    3,
+		GridDim:  10,
+		BlockDim: 64,
+		Params:   []uint32{111, 222},
+		Gmem:     fm,
+		Smem:     make([]byte, 512),
+	}, fm
+}
+
+func TestExecuteSpecials(t *testing.T) {
+	env, _ := testEnv()
+	w := NewState(8, LanesMask(32))
+	w.WarpInCta = 1
+	in := isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Sreg(isa.SrTid)}
+	w.Execute(&in, env)
+	if got := w.Reg(0, 5); got != 32+5 {
+		t.Errorf("tid lane 5 = %d, want 37", got)
+	}
+	for spec, want := range map[isa.Special]uint32{
+		isa.SrCtaid: 3, isa.SrNtid: 64, isa.SrNctaid: 10, isa.SrWarpCta: 1,
+	} {
+		in := isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(1), A: isa.Sreg(spec)}
+		w.Execute(&in, env)
+		if got := w.Reg(1, 0); got != want {
+			t.Errorf("%s = %d, want %d", spec, got, want)
+		}
+	}
+	in = isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(2), A: isa.Sreg(isa.SrLane)}
+	w.Execute(&in, env)
+	if got := w.Reg(2, 17); got != 17 {
+		t.Errorf("lane = %d, want 17", got)
+	}
+}
+
+func TestExecuteGuardedALU(t *testing.T) {
+	env, _ := testEnv()
+	w := NewState(8, LanesMask(32))
+	// p0 = lane < 4
+	setp := isa.Instr{Op: isa.SETP, GuardPred: isa.NoPred, Cmp: isa.CmpLT,
+		Dst: isa.Pred(0), A: isa.Sreg(isa.SrLane), B: isa.Imm(4)}
+	w.Execute(&setp, env)
+	if w.Pred(0) != 0xf {
+		t.Fatalf("pred = %#x, want 0xf", w.Pred(0))
+	}
+	// @p0 r1 = 99; others keep 0.
+	mov := isa.Instr{Op: isa.MOV, GuardPred: 0, Dst: isa.Reg(1), A: isa.Imm(99)}
+	res := w.Execute(&mov, env)
+	if res.Active != 0xf {
+		t.Fatalf("active = %#x", res.Active)
+	}
+	if w.Reg(1, 2) != 99 || w.Reg(1, 10) != 0 {
+		t.Errorf("guarded write wrong: lane2=%d lane10=%d", w.Reg(1, 2), w.Reg(1, 10))
+	}
+	// @!p0 r1 = 7.
+	movn := isa.Instr{Op: isa.MOV, GuardPred: 0, GuardNeg: true, Dst: isa.Reg(1), A: isa.Imm(7)}
+	w.Execute(&movn, env)
+	if w.Reg(1, 2) != 99 || w.Reg(1, 10) != 7 {
+		t.Errorf("negated guard wrong: lane2=%d lane10=%d", w.Reg(1, 2), w.Reg(1, 10))
+	}
+}
+
+func TestExecuteParamLoad(t *testing.T) {
+	env, _ := testEnv()
+	w := NewState(4, LanesMask(32))
+	in := isa.Instr{Op: isa.LDP, GuardPred: isa.NoPred, Dst: isa.Reg(0), Off: 1}
+	w.Execute(&in, env)
+	if w.Reg(0, 31) != 222 {
+		t.Errorf("param = %d", w.Reg(0, 31))
+	}
+}
+
+func TestExecuteGlobalLoadStore(t *testing.T) {
+	env, fm := testEnv()
+	w := NewState(8, LanesMask(32))
+	// r0 = lane*4 + 1000
+	w.Execute(&isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Sreg(isa.SrLane)}, env)
+	w.Execute(&isa.Instr{Op: isa.SHL, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Reg(0), B: isa.Imm(2)}, env)
+	w.Execute(&isa.Instr{Op: isa.IADD, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Reg(0), B: isa.Imm(1000)}, env)
+	// st.global [r0+0] = lane id (r1)
+	w.Execute(&isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(1), A: isa.Sreg(isa.SrLane)}, env)
+	res := w.Execute(&isa.Instr{Op: isa.STG, GuardPred: isa.NoPred, A: isa.Reg(0), B: isa.Reg(1)}, env)
+	if !res.IsStore || res.GlobalAddrs == nil {
+		t.Fatal("store result missing address info")
+	}
+	if fm.m[1000+4*9] != 9 {
+		t.Errorf("store lane 9 = %d", fm.m[1000+4*9])
+	}
+	// ld.global r2, [r0+4] -> next lane's value (lane 31 reads junk 0).
+	w.Execute(&isa.Instr{Op: isa.LDG, GuardPred: isa.NoPred, Dst: isa.Reg(2), A: isa.Reg(0), Off: 4}, env)
+	if w.Reg(2, 5) != 6 || w.Reg(2, 31) != 0 {
+		t.Errorf("load wrong: lane5=%d lane31=%d", w.Reg(2, 5), w.Reg(2, 31))
+	}
+}
+
+func TestExecuteSharedMemAndBankInfo(t *testing.T) {
+	env, _ := testEnv()
+	w := NewState(8, LanesMask(32))
+	w.Execute(&isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Sreg(isa.SrLane)}, env)
+	w.Execute(&isa.Instr{Op: isa.SHL, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Reg(0), B: isa.Imm(2)}, env)
+	w.Execute(&isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(1), A: isa.Imm(5)}, env)
+	res := w.Execute(&isa.Instr{Op: isa.STS, GuardPred: isa.NoPred, A: isa.Reg(0), B: isa.Reg(1)}, env)
+	if res.SharedAddrs == nil || res.SharedAddrs[3] != 12 {
+		t.Fatal("shared store addresses missing")
+	}
+	w.Execute(&isa.Instr{Op: isa.LDS, GuardPred: isa.NoPred, Dst: isa.Reg(2), A: isa.Reg(0)}, env)
+	if w.Reg(2, 30) != 5 {
+		t.Errorf("shared load = %d", w.Reg(2, 30))
+	}
+}
+
+func TestExecuteBarrierPanicsWhenDiverged(t *testing.T) {
+	env, _ := testEnv()
+	w := NewState(4, LanesMask(32))
+	// Diverge with a guarded branch, then try a barrier.
+	w.Execute(&isa.Instr{Op: isa.SETP, GuardPred: isa.NoPred, Cmp: isa.CmpLT,
+		Dst: isa.Pred(0), A: isa.Sreg(isa.SrLane), B: isa.Imm(16)}, env)
+	w.Execute(&isa.Instr{Op: isa.BRA, GuardPred: 0, Target: 5, Reconv: 6}, env)
+	defer func() {
+		if recover() == nil {
+			t.Error("barrier while diverged must panic")
+		}
+	}()
+	w.Execute(&isa.Instr{Op: isa.BAR, GuardPred: isa.NoPred}, env)
+}
+
+func TestEffAddrsMatchesExecute(t *testing.T) {
+	env, _ := testEnv()
+	w := NewState(8, LanesMask(32))
+	w.Execute(&isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Sreg(isa.SrLane)}, env)
+	w.Execute(&isa.Instr{Op: isa.SHL, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Reg(0), B: isa.Imm(3)}, env)
+	in := isa.Instr{Op: isa.LDS, GuardPred: isa.NoPred, Dst: isa.Reg(1), A: isa.Reg(0), Off: 16}
+	var pre [kernel.WarpSize]uint32
+	active := w.EffAddrs(&in, env, &pre)
+	res := w.Execute(&in, env)
+	if active != res.Active {
+		t.Fatalf("active mismatch: %#x vs %#x", active, res.Active)
+	}
+	for lane := 0; lane < 32; lane++ {
+		if res.Active&(1<<lane) != 0 && pre[lane] != res.SharedAddrs[lane] {
+			t.Fatalf("lane %d: pre %d post %d", lane, pre[lane], res.SharedAddrs[lane])
+		}
+	}
+}
+
+func TestPartialLastWarp(t *testing.T) {
+	env, _ := testEnv()
+	w := NewState(4, LanesMask(28)) // 28-lane warp, like b+tree's last warp
+	res := w.Execute(&isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Imm(1)}, env)
+	if res.Active != LanesMask(28) {
+		t.Fatalf("active = %#x", res.Active)
+	}
+	if !w.Execute(&isa.Instr{Op: isa.EXIT, GuardPred: isa.NoPred}, env).Finished {
+		t.Fatal("exit should finish the partial warp")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	env, _ := testEnv()
+	w := NewState(4, LanesMask(32))
+	w.Execute(&isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(3), A: isa.Imm(42)}, env)
+	w.Execute(&isa.Instr{Op: isa.SETP, GuardPred: isa.NoPred, Cmp: isa.CmpEQ,
+		Dst: isa.Pred(2), A: isa.Imm(1), B: isa.Imm(1)}, env)
+	w.Reset(LanesMask(16))
+	if w.Reg(3, 0) != 0 || w.Pred(2) != 0 {
+		t.Error("Reset must clear registers and predicates")
+	}
+	if pc, mask, ok := w.PC(); !ok || pc != 0 || mask != LanesMask(16) {
+		t.Errorf("Reset PC state: pc=%d mask=%#x ok=%v", pc, mask, ok)
+	}
+}

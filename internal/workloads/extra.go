@@ -1,0 +1,121 @@
+package workloads
+
+import (
+	"fmt"
+
+	"gpushare/internal/isa"
+	"gpushare/internal/kernel"
+	"gpushare/internal/mem"
+)
+
+// EpilogueMicro is a microbenchmark for the §VIII early-release
+// extension, deliberately NOT part of the paper's 19 applications (it is
+// not in the registry): a short shared-register phase followed by a long
+// register-dead tail. With early release enabled, a warp's pair lock
+// frees at the phase boundary instead of at warp completion, so the
+// partner warp overlaps with the entire tail.
+var EpilogueMicro = &Spec{
+	Name: "epilogue", Suite: "gpushare", Kernel: "epilogue_micro",
+	Set: Set1, BlockDim: 256, RegsPerThread: 48,
+	Build: buildEpilogueMicro,
+}
+
+const (
+	epiSharedIters = 8
+	epiTailIters   = 48
+	epiStride      = 4096 // bytes between successive tail loads
+)
+
+func buildEpilogueMicro(scale int) *Instance {
+	grid := 84 * scale
+	n := grid * 256
+
+	b := kernel.NewBuilder("epilogue_micro", 256)
+	b.Params(1).SetRegs(48)
+	// With 48 registers at t=0.1 the private pool is r0..r3; the shared
+	// phase uses r20+ and the tail only r0..r3.
+	const (
+		rGid, rOut, rAcc = 0, 1, 2
+		rShA, rShB, rShI = 20, 24, 28
+		rT               = 3
+	)
+	emitGid(b, rGid)
+	b.LdParam(rOut, 0)
+	b.MovI(rAcc, 0)
+	// Touch the tail's scratch register before any shared register so
+	// the unroll pass (first-use renumbering) keeps all four tail
+	// registers inside the private pool.
+	b.MovI(rT, 0)
+	// Phase 1: a short loop through shared registers.
+	b.MovI(rShI, 0)
+	b.MovI(rShA, 3)
+	b.Label("shared")
+	b.IMad(rShB, isa.Reg(rShA), isa.Imm(5), isa.Reg(rGid))
+	b.And(rShA, isa.Reg(rShB), isa.Imm(0xffff))
+	b.IAdd(rAcc, isa.Reg(rAcc), isa.Reg(rShA))
+	b.IAdd(rShI, isa.Reg(rShI), isa.Imm(1))
+	b.Setp(isa.CmpLT, 0, isa.Reg(rShI), isa.Imm(epiSharedIters))
+	b.BraIf(0, false, "shared", "tail")
+	b.Label("tail")
+	// Finish every shared-register use here: the walk address is
+	// computed through rShB, then rGid is recycled as the tail counter.
+	b.Shl(rShB, isa.Reg(rGid), isa.Imm(2))
+	b.IAdd(rOut, isa.Reg(rOut), isa.Reg(rShB))
+	b.MovI(rGid, 0)
+	// Phase 2: a long memory-bound tail that provably never touches
+	// r4..r47 again — live-range analysis releases the pair lock at its
+	// head, letting the partner warp overlap with all of it.
+	b.Label("loop")
+	b.LdG(rT, isa.Reg(rOut), 0)
+	b.IAdd(rAcc, isa.Reg(rAcc), isa.Reg(rT))
+	b.Xor(rAcc, isa.Reg(rAcc), isa.Imm(0x5a5a))
+	b.IAdd(rOut, isa.Reg(rOut), isa.Imm(epiStride))
+	b.IAdd(rGid, isa.Reg(rGid), isa.Imm(1))
+	b.Setp(isa.CmpLT, 0, isa.Reg(rGid), isa.Imm(epiTailIters))
+	b.BraIf(0, false, "loop", "fin")
+	b.Label("fin")
+	// The final store lands past every thread's read walk (offset 4n),
+	// so no thread's tail load can observe another thread's result.
+	b.StG(isa.Reg(rOut), int32(4*n), isa.Reg(rAcc))
+	b.Exit()
+	k := b.MustBuild()
+
+	// The tail walks one buffer (element gid*4 + i*stride) and stores 4n
+	// bytes past its final position; size the buffer for the last store.
+	bufWords := 2*n + epiTailIters*epiStride/4 + 64
+	init := make([]uint32, bufWords)
+	var outAddr uint32
+	launch := &kernel.Launch{Kernel: k, GridDim: grid}
+	return &Instance{
+		Launch: launch,
+		Setup: func(m *mem.Global) {
+			rng := splitmix64(163)
+			for i := range init {
+				init[i] = uint32(rng.next()) & 0xffff
+			}
+			outAddr = m.Alloc(4 * bufWords)
+			m.WriteWords(outAddr, init)
+			launch.Params = []uint32{outAddr}
+		},
+		Check: func(m *mem.Global) error {
+			for t := 0; t < n; t += 131 {
+				var acc, shA uint32 = 0, 3
+				for i := 0; i < epiSharedIters; i++ {
+					shB := shA*5 + uint32(t)
+					shA = shB & 0xffff
+					acc += shA
+				}
+				addr := outAddr + uint32(4*t)
+				for i := 0; i < epiTailIters; i++ {
+					acc += init[(addr-outAddr)/4]
+					acc ^= 0x5a5a
+					addr += epiStride
+				}
+				if got := m.Load32(addr + uint32(4*n)); got != acc {
+					return fmt.Errorf("epilogue out[%d] = %#x, want %#x", t, got, acc)
+				}
+			}
+			return nil
+		},
+	}
+}

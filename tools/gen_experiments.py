@@ -1,0 +1,178 @@
+# Generates EXPERIMENTS.md from experiments_output.txt (the output of
+#   go run ./cmd/gexp -exp all -scale 2 -paper
+# ) plus per-experiment commentary. Checked in for reproducibility of the
+# document itself; the numbers come exclusively from the harness.
+import re
+import sys
+
+OUT = "experiments_output.txt"  # run from the repository root
+
+commentary = {
+"ext-earlyrelease": """**Extension (§VIII item 1).** On the paper's own proxies the shared
+registers stay live until the warp's last instructions, so early release
+fires only in the epilogue and leaves IPC unchanged — evidence for the
+paper's remark that the analysis wants *instruction reordering* next to
+it. The `epilogue` microbenchmark (short shared phase, long register-dead
+memory-bound tail) isolates the mechanism: releases let the partner block
+overlap with the whole tail.""",
+"ext-l1policy": """**Extension (§VIII item 2).** Register-sharing gains under three L1
+replacement policies. The gains survive all three; LRU and FIFO behave
+almost identically on the streaming-plus-slice access mix, while random
+replacement softens both the baseline and the shared configuration.""",
+"ext-launchlat": """**Sensitivity.** The staged non-owner block of a sharing pair hides the
+CTA dispatch gap, so the sharing gain grows with the latency; at zero
+latency the remaining gain is the extra thread-level parallelism alone.""",
+"ext-rfbanks": """**Fidelity knob.** The optional register-file bank-conflict model of
+Fig. 3 (off by default, like GPGPU-Sim's PTX mode) lowers absolute IPC a
+little on register-tiled kernels but leaves the sharing gains intact —
+the paper's conclusions do not hinge on RF banking.""",
+"ext-mshr": """**Sensitivity.** The divergent workloads are MSHR-bound: baseline IPC
+scales with outstanding-miss capacity, which is why the default of 32 is
+a load-bearing model choice (GPGPU-Sim's default).""",
+"fig1a": "Baseline resident blocks for the register-limited set — matches Fig. 1(a) exactly.",
+"fig1b": """Register under-utilization per SM. The hotspot example of §I: 3 resident
+blocks x 9216 registers leaves 5120 of 32768 registers (15.6%) unused.""",
+"fig1c": "Baseline resident blocks for the scratchpad-limited set — matches Fig. 1(c) exactly.",
+"fig1d": "Scratchpad under-utilization per SM, the analogue of Fig. 1(d).",
+"fig8a": "Resident blocks, baseline vs register sharing at 90% — matches the paper exactly (also the thread/block caps: backprop/hotspot/MUM/mri-q saturate the 1536-thread limit, LIB/sgemm the 8-block limit).",
+"fig8b": "Resident blocks, baseline vs scratchpad sharing at 90% — matches the paper exactly.",
+"fig8c": """The headline register-sharing result. Shape vs the paper: the big
+gainers (hotspot, MUM, b+tree, stencil — paper: 21.8/24.1/12.0/23.5) gain
+double digits here too; backprop and sgemm gain modestly; LIB (+0.8 in
+the paper) and mri-q (-0.7 in the paper) sit at the flat end. Our
+stencil overshoots and our MUM/hotspot land slightly under the paper's
+values; the ordering and the flat cases agree.""",
+"fig8d": """The headline scratchpad-sharing result: every Set-2 workload gains, and
+lavaMD — whose accesses never enter the shared region, the paper's
+explanation for its ~30% — is the top gainer here as well. Our gains for
+lavaMD/SRAD1/SRAD2 run hotter than the paper's (our baseline SMs at two
+resident blocks are more starved than GPGPU-Sim's were).""",
+"fig9a": """Register-sharing optimization ablation. As in the paper, the full
+OWF+Unroll+Dyn configuration dominates for nearly every workload, and the
+no-optimization column is much weaker (the paper's MUM: -0.15% NoOpt vs
++24.1% full; ours: +7.5% vs +19.5%). Two divergences worth noting: our
+unroll deltas are small because the proxies' prologues are short, and our
+dyn column only separates from unroll on workloads whose non-owner warps
+reach a memory instruction before their first shared-register access
+(b+tree, by construction).""",
+"fig9b": """Scratchpad ablation: OWF improves on plain LRR sharing for 6 of 7
+workloads (the paper reports the same pattern, including SRAD2's jump —
+5.3% NoOpt vs 25.7% OWF in the paper, 25.2% vs 32.2% here). SRAD1 is the
+exception in both (paper: better without OWF).""",
+"fig9c": """Cycle-breakdown changes under register sharing. Following the paper's
+definitions, a no-issue cycle with every warp waiting on an in-flight
+result is *idle* ("all the available warps are issued, but no warp is
+ready"); structural blocks (ports, locks, MSHRs, the dyn gate) are
+*stalls*. Sharing's extra warps absorb idle cycles (32-92% reductions here; the
+paper reports reductions up to 99% for all applications) while lock
+waits and cache pressure push stalls up for a few: ours b+tree and
+mri-q, the paper's b+tree, stencil and mri-q — the paper likewise
+attributes mri-q's stall increase to extra L1 misses.""",
+"fig9d": "Same breakdown for scratchpad sharing; the compute-bound Set-2 workloads (lavaMD, SRAD1/2) shed most of their idle cycles.",
+"fig10a": """Register sharing vs a GTO baseline. The paper reports gains of at most
+3.9% here — i.e. most of Fig. 8(c)'s improvement is OWF behaving like
+GTO. We reproduce that conclusion: against GTO the sharing deltas are
+single-digit (some slightly negative).""",
+"fig10b": "Scratchpad sharing retains its gains over GTO (paper: up to 30%), since they come from real extra blocks rather than scheduling.",
+"fig10c": "Register sharing vs the two-level baseline (paper: up to 27.2%).",
+"fig10d": "Scratchpad sharing vs the two-level baseline (paper: up to 27.1%).",
+"fig11a": """Sharing at 32K registers vs an unshared LRR baseline given 64K. The
+paper finds sharing better in 5 of 8 with the doubled-register baseline
+winning sgemm, b+tree and LIB; here sharing wins 6 of 8 and the baseline
+wins exactly sgemm and LIB — the same two apps for which the paper
+explains the baseline's advantage by its higher resident-block count.""",
+"fig11b": "Scratchpad sharing at 16KB vs an unshared baseline at 32KB, the analogue of Fig. 11(b).",
+"fig12a": """Set-3 under register sharing: the dispatcher launches no pairs, so
+Shared-LRR ≡ Unshared-LRR and Shared-GTO ≡ Unshared-GTO *exactly*, and
+OWF (all warps unshared, ordered by dynamic id) ≡ GTO — the paper's
+precise observation about Fig. 12.""",
+"fig12b": "Same for scratchpad sharing.",
+"table5": """IPC across the register-sharing sweep. Structure matches Table V: 0%,
+10% and 30% are identical wherever the block count is unchanged (the
+paper notes all applications behave the same at 0% and 10%), and IPC
+moves where Table VI's block counts move. Shape echoes: hotspot dips at
+50% before recovering at 90% (paper: 489→475→503), stencil is slightly
+worse at 90% than at 0% (paper: 448→441).""",
+"table6": "Resident blocks across the register-sharing sweep — **matches Table VI cell for cell** (pure Eq. 4 occupancy math; enforced by TestBlockSweepsMatchPaperExactly).",
+"table7": """IPC across the scratchpad sweep. lavaMD's signature jump *only at 90%*
+(paper: 452→579) reproduces, as does SRAD2's (63.5→68.3 in the paper).
+Our NW1/NW2 rise slightly with sharing where the paper's decline
+slightly; both effects are within a few percent.""",
+"table8": "Resident blocks across the scratchpad sweep — **matches Table VIII cell for cell** (enforced by tests).",
+"hw": """Section V storage-overhead formulas at the Table I configuration
+(T=8 blocks, W=48 warps, N=14 SMs): 273 bits/SM for register sharing and
+93 bits/SM for scratchpad sharing — a few hundred bytes for the whole
+GPU, supporting the paper's "minimal hardware" claim.""",
+}
+
+def main():
+    text = open(OUT).read()
+    # Split into experiment sections.
+    sections = {}
+    cur = None
+    for line in text.splitlines():
+        m = re.match(r"== (\S+): ", line)
+        if m:
+            cur = m.group(1)
+            sections[cur] = []
+        if cur and not line.startswith("EXIT="):
+            sections[cur].append(line)
+
+    order = [
+        "fig1a","fig1b","fig1c","fig1d",
+        "fig8a","fig8b","fig8c","fig8d",
+        "fig9a","fig9b","fig9c","fig9d",
+        "fig10a","fig10b","fig10c","fig10d",
+        "fig11a","fig11b","fig12a","fig12b",
+        "table5","table6","table7","table8","hw",
+        "ext-earlyrelease","ext-l1policy","ext-launchlat","ext-mshr","ext-rfbanks",
+    ]
+
+    with open("EXPERIMENTS.md","w") as f:
+        f.write(HEADER)
+        for id_ in order:
+            if id_ not in sections:
+                print("missing section", id_, file=sys.stderr)
+                continue
+            body = "\n".join(sections[id_]).rstrip()
+            f.write(f"## {id_}\n\n")
+            if id_ in commentary:
+                f.write(commentary[id_].strip() + "\n\n")
+            f.write("```\n" + body + "\n```\n\n")
+    print("wrote EXPERIMENTS.md")
+
+HEADER = """# EXPERIMENTS — paper vs. measured
+
+Every table and figure of the paper's evaluation (§VI), regenerated by
+this repository's harness, plus the `ext-*` studies that implement the
+paper's §VIII future-work items. All numbers below were produced by
+
+```
+go run ./cmd/gexp -exp all -scale 2 -paper
+```
+
+(grid scale 2, the reference experiment scale; the raw output is
+`experiments_output.txt`). Where the paper quotes a number — in its
+tables or its prose — it appears next to or below the measured values.
+
+**Reading guidance.** Resident-block counts (fig1, fig8a/b, table6,
+table8) and the Set-3 equivalences (fig12) are *exact* reproductions:
+they depend only on the paper's occupancy equations, which this
+repository implements directly, and the test suite pins them to the
+paper's values. IPC-derived numbers are *shape* reproductions: the
+substrate here is a from-scratch cycle-level simulator and the 19
+benchmarks are synthetic proxies matching the paper's resource
+footprints and qualitative behaviour (see DESIGN.md), so who wins, in
+which direction, and roughly by how much is meaningful — absolute IPC is
+not expected to match the authors' GPGPU-Sim testbed.
+
+Known divergences, called out in context below: our stencil and the
+Set-2 compute-bound workloads (lavaMD, SRAD1) gain more than the paper's
+versions; our unroll/dyn ablation columns move less than the paper's
+(short proxy prologues); NW1/NW2 trend slightly up across the sweep
+where the paper's trend slightly down.
+
+"""
+
+if __name__ == "__main__":
+    main()
