@@ -12,6 +12,7 @@ package gpushare_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"gpushare"
@@ -220,6 +221,45 @@ func BenchmarkHWOverhead(b *testing.B) {
 		"register-bits-per-SM":   {"register", "PerSM"},
 		"scratchpad-bits-per-SM": {"scratchpad", "PerSM"},
 	})
+}
+
+// BenchmarkRunnerParallel measures the simulation farm: the same
+// six-job matrix executed sequentially (-j 1) and with one worker per
+// CPU. Each iteration uses a fresh runner (cold memory cache, no disk
+// cache), so the ratio of the two sub-benchmarks' ns/op is the
+// parallel speedup; both report simcycles/sec for throughput.
+func BenchmarkRunnerParallel(b *testing.B) {
+	jobs := make([]gpushare.SimJob, 0, 6)
+	for _, name := range []string{"gaussian", "backprop2", "NN"} {
+		cfg := gpushare.DefaultConfig()
+		jobs = append(jobs, gpushare.SimJob{Workload: name, Config: cfg, Scale: 1})
+		shared := cfg
+		shared.Sharing = gpushare.ShareRegisters
+		shared.Sched = gpushare.SchedOWF
+		shared.T = 0.1
+		jobs = append(jobs, gpushare.SimJob{Workload: name, Config: shared, Scale: 1})
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"j1", 1},
+		{fmt.Sprintf("jNumCPU-%d", runtime.NumCPU()), runtime.NumCPU()},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				r := gpushare.NewRunner(gpushare.RunnerOptions{Workers: bc.workers})
+				for _, res := range r.RunAll(jobs) {
+					if res.Err != nil {
+						b.Fatal(res.Err)
+					}
+					cycles += res.Stats.Cycles
+				}
+			}
+			b.ReportMetric(float64(cycles)/b.Elapsed().Seconds(), "simcycles/sec")
+		})
+	}
 }
 
 // BenchmarkSimulatorThroughput measures raw simulation speed: simulated

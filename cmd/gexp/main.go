@@ -1,20 +1,26 @@
 // Command gexp reproduces the paper's evaluation. It runs experiments by
 // id (one per table/figure of the paper) and prints the same rows and
 // series the paper reports, optionally side by side with the paper's
-// published values.
+// published values. Simulations run as descriptor-addressed jobs on a
+// concurrent farm (-j) with an optional on-disk result cache
+// (-cachedir), so repeated sweeps skip already-simulated
+// configurations; parallel runs print tables bit-identical to
+// sequential ones.
 //
 // Usage:
 //
-//	gexp -exp fig8c            # one experiment
-//	gexp -exp all -scale 2     # the whole evaluation
-//	gexp -list                 # show experiment ids
-//	gexp -exp table5 -paper    # include the paper's values
+//	gexp -exp fig8c                      # one experiment
+//	gexp -exp all -scale 2               # the whole evaluation
+//	gexp -exp all -j 8 -cachedir ~/.gexp # 8-way parallel, durable cache
+//	gexp -list                           # show experiment ids
+//	gexp -exp table5 -paper              # include the paper's values
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"gpushare/internal/harness"
@@ -22,13 +28,15 @@ import (
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (fig1a..fig12b, table5..table8, hw) or 'all'")
-		scale   = flag.Int("scale", 2, "workload grid scale")
-		list    = flag.Bool("list", false, "list experiment ids and exit")
-		verbose = flag.Bool("v", false, "print per-run progress")
-		verify  = flag.Bool("verify", false, "re-check functional outputs after every run")
-		paper   = flag.Bool("paper", false, "print the paper's reported values next to measured ones")
-		md      = flag.Bool("md", false, "emit GitHub-flavoured Markdown (with paper values when -paper)")
+		exp      = flag.String("exp", "", "experiment id (fig1a..fig12b, table5..table8, hw, ext-*) or 'all'")
+		scale    = flag.Int("scale", 2, "workload grid scale")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+		verbose  = flag.Bool("v", false, "print per-run progress and cache statistics")
+		verify   = flag.Bool("verify", false, "re-check functional outputs after every run")
+		paper    = flag.Bool("paper", false, "print the paper's reported values next to measured ones")
+		md       = flag.Bool("md", false, "emit GitHub-flavoured Markdown (with paper values when -paper)")
+		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = sequential, results identical either way)")
+		cacheDir = flag.String("cachedir", "", "on-disk result cache directory, reused across runs ('' disables)")
 	)
 	flag.Parse()
 
@@ -43,6 +51,8 @@ func main() {
 
 	s := harness.NewSession(*scale)
 	s.Verify = *verify
+	s.Workers = *workers
+	s.CacheDir = *cacheDir
 	if *verbose {
 		s.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
@@ -51,6 +61,17 @@ func main() {
 	if *exp == "all" {
 		ids = harness.IDs()
 	}
+
+	// With more than one worker, farm out the whole deduplicated job
+	// matrix first; the per-experiment loop below then assembles tables
+	// from pure cache hits.
+	if *workers != 1 {
+		if err := s.Precompute(ids...); err != nil {
+			fmt.Fprintf(os.Stderr, "gexp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
 	for _, id := range ids {
 		tab, err := s.Experiment(id)
 		if err != nil {
@@ -70,6 +91,9 @@ func main() {
 			printPaper(id, tab)
 		}
 		fmt.Println()
+	}
+	if *verbose {
+		fmt.Fprintf(os.Stderr, "gexp: %s\n", s.Counters())
 	}
 }
 

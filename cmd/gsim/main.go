@@ -6,6 +6,7 @@
 //	gsim -workload hotspot
 //	gsim -workload lavaMD -sharing scratchpad -t 0.1 -sched OWF
 //	gsim -workload MUM -sharing registers -unroll -dyn -sched OWF -v
+//	gsim -workload hotspot -cachedir ~/.gpushare-cache   # rerun = cache hit
 //	gsim -list
 package main
 
@@ -16,24 +17,26 @@ import (
 
 	"gpushare/internal/config"
 	"gpushare/internal/gpu"
+	"gpushare/internal/runner"
 	"gpushare/internal/workloads"
 )
 
 func main() {
 	var (
-		name    = flag.String("workload", "", "benchmark name (see -list)")
-		list    = flag.Bool("list", false, "list workloads and exit")
-		schedS  = flag.String("sched", "LRR", "warp scheduler: LRR, GTO, TwoLevel, OWF")
-		shareS  = flag.String("sharing", "none", "sharing mode: none, registers, scratchpad")
-		t       = flag.Float64("t", 0.1, "sharing threshold t (sharing %% = (1-t)*100)")
-		unroll  = flag.Bool("unroll", false, "enable register declaration unrolling (§IV-B)")
-		dyn     = flag.Bool("dyn", false, "enable dynamic warp execution (§IV-C)")
-		release = flag.Bool("earlyrelease", false, "enable early shared-register release (§VIII ext.)")
-		l1pol   = flag.String("l1policy", "LRU", "L1 replacement policy: LRU, FIFO, Rand")
-		trace   = flag.Int64("trace", 0, "emit a progress snapshot every N cycles")
-		scale   = flag.Int("scale", 1, "workload grid scale")
-		verify  = flag.Bool("verify", true, "check functional outputs after the run")
-		showOcc = flag.Bool("occupancy", false, "print the occupancy plan and exit")
+		name     = flag.String("workload", "", "benchmark name (see -list)")
+		list     = flag.Bool("list", false, "list workloads and exit")
+		schedS   = flag.String("sched", "LRR", "warp scheduler: LRR, GTO, TwoLevel, OWF")
+		shareS   = flag.String("sharing", "none", "sharing mode: none, registers, scratchpad")
+		t        = flag.Float64("t", 0.1, "sharing threshold t (sharing %% = (1-t)*100)")
+		unroll   = flag.Bool("unroll", false, "enable register declaration unrolling (§IV-B)")
+		dyn      = flag.Bool("dyn", false, "enable dynamic warp execution (§IV-C)")
+		release  = flag.Bool("earlyrelease", false, "enable early shared-register release (§VIII ext.)")
+		l1pol    = flag.String("l1policy", "LRU", "L1 replacement policy: LRU, FIFO, Rand")
+		trace    = flag.Int64("trace", 0, "emit a progress snapshot every N cycles")
+		scale    = flag.Int("scale", 1, "workload grid scale")
+		verify   = flag.Bool("verify", true, "check functional outputs after the run")
+		showOcc  = flag.Bool("occupancy", false, "print the occupancy plan and exit")
+		cacheDir = flag.String("cachedir", "", "on-disk result cache directory: identical runs are served from cache ('' disables; ignored with -trace)")
 	)
 	flag.Parse()
 
@@ -76,11 +79,27 @@ func main() {
 		return
 	}
 
-	inst.Setup(sim.Mem)
 	fmt.Printf("running %s (%s / %s), grid %d x %d threads, %s\n",
 		spec.Name, spec.Suite, spec.Kernel, inst.Launch.GridDim, spec.BlockDim, cfg.String())
 	fmt.Printf("occupancy: %s\n\n", sim.Occupancy(inst.Launch.Kernel))
 
+	// With a cache directory (and no trace request), route the run
+	// through the job runner: an identical earlier run — same workload,
+	// configuration, and scale, from this or any previous process — is
+	// served from the content-addressed store instead of re-simulated.
+	if *cacheDir != "" && *trace == 0 {
+		r := runner.New(runner.Options{Workers: 1, CacheDir: *cacheDir, Verify: *verify})
+		res := r.Do(runner.Job{Workload: spec.Name, Config: cfg, Scale: *scale})
+		fatal(res.Err)
+		fmt.Print(res.Stats.Report())
+		fmt.Printf("result source: %s\n", res.Tier)
+		if *verify && res.Tier == runner.Simulated {
+			fmt.Println("functional check: ok")
+		}
+		return
+	}
+
+	inst.Setup(sim.Mem)
 	g, err := sim.Run(inst.Launch)
 	fatal(err)
 	fmt.Print(g.Report())

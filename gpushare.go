@@ -40,6 +40,7 @@ import (
 	"gpushare/internal/kernel"
 	"gpushare/internal/mem"
 	"gpushare/internal/opt/unroll"
+	"gpushare/internal/runner"
 	"gpushare/internal/stats"
 	"gpushare/internal/workloads"
 )
@@ -192,3 +193,32 @@ func ExperimentIDs() []string { return harness.IDs() }
 func HardwareOverhead(cfg *Config) (register, scratchpad hw.Overhead) {
 	return hw.ForConfig(cfg)
 }
+
+// Simulation farm: descriptor-addressed jobs with concurrent execution
+// and content-addressed result caching (internal/runner).
+type (
+	// SimJob names one simulation by content: workload, configuration,
+	// and grid scale. Its Key() is stable across processes.
+	SimJob = runner.Job
+	// SimRunner executes jobs on a worker pool with a two-tier
+	// (memory + optional disk) result cache.
+	SimRunner = runner.Runner
+	// RunnerOptions configures a SimRunner (workers, cache directory,
+	// timeout, retries).
+	RunnerOptions = runner.Options
+	// RunnerResult is one job's outcome: stats, cache tier, error.
+	RunnerResult = runner.Result
+	// RunnerCounters is a snapshot of a runner's cache/volume counters.
+	RunnerCounters = runner.Counters
+)
+
+// Cache tiers a RunnerResult can come from.
+const (
+	ResultSimulated  = runner.Simulated
+	ResultFromMemory = runner.FromMemory
+	ResultFromDisk   = runner.FromDisk
+)
+
+// NewRunner builds a simulation runner. A zero Options value gives
+// GOMAXPROCS workers and a memory-only cache.
+func NewRunner(o RunnerOptions) *SimRunner { return runner.New(o) }

@@ -5,7 +5,10 @@
 // shared L2, and an FR-FCFS GDDR3 DRAM model.
 package config
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+)
 
 // SchedPolicy selects the warp scheduling policy.
 type SchedPolicy uint8
@@ -269,6 +272,15 @@ func Default() Config {
 		DynStep:   0.1,
 		Seed:      0x9e3779b97f4a7c15,
 	}
+}
+
+// CanonicalJSON serializes the configuration in a stable canonical
+// form — declaration field order, no whitespace — so that two
+// configurations serialize to the same bytes iff every parameter is
+// equal. It is the config component of content-addressed simulation
+// job keys (internal/runner).
+func (c *Config) CanonicalJSON() ([]byte, error) {
+	return json.Marshal(c)
 }
 
 // SharingPercent returns the sharing percentage (1-t)*100 for the

@@ -107,3 +107,20 @@ func TestSharingPercent(t *testing.T) {
 		t.Errorf("t=0.1 -> %v%%, want 90%%", got)
 	}
 }
+
+func TestCanonicalJSON(t *testing.T) {
+	c := Default()
+	b1, err := c.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := c.CanonicalJSON()
+	if string(b1) != string(b2) {
+		t.Error("CanonicalJSON is not stable across calls")
+	}
+	c.T = 0.3
+	b3, _ := c.CanonicalJSON()
+	if string(b1) == string(b3) {
+		t.Error("CanonicalJSON did not change with the configuration")
+	}
+}

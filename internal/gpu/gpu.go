@@ -18,6 +18,14 @@ import (
 	"gpushare/internal/stats"
 )
 
+// Version is the simulator's behavioural revision, the code component
+// of cached-result fingerprints (internal/runner). Bump it whenever a
+// change can alter simulation statistics — timing model, schedulers,
+// ISA semantics, occupancy math, or the workload proxies — so that
+// on-disk results from older revisions are invalidated rather than
+// trusted.
+const Version = "sim-v1"
+
 // progressWindow is the deadlock detector: if no SM issues a single
 // instruction for this many consecutive cycles, the run aborts.
 const progressWindow = 500_000

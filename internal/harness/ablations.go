@@ -4,7 +4,6 @@ import (
 	"fmt"
 
 	"gpushare/internal/config"
-	"gpushare/internal/gpu"
 	"gpushare/internal/stats"
 	"gpushare/internal/workloads"
 )
@@ -23,34 +22,13 @@ func init() {
 	registerExperiment("ext-rfbanks", extRFBanks)
 }
 
-// RunCfg executes a workload under an arbitrary configuration, memoized
-// by the given label (used by the ablation experiments; the paper
-// configurations go through Run).
+// RunCfg executes a workload under an arbitrary configuration (used by
+// the ablation experiments; the paper configurations go through Run).
+// The label only decorates progress lines and errors — memoization is
+// content-addressed on the configuration itself, so two labels naming
+// identical configurations share one simulation.
 func (s *Session) RunCfg(spec *workloads.Spec, label string, cfg config.Config) (*stats.GPU, error) {
-	key := fmt.Sprintf("%s|cfg:%s|%d", spec.Name, label, s.Scale)
-	if g, ok := s.cache[key]; ok {
-		return g, nil
-	}
-	inst := spec.Build(s.Scale)
-	sim, err := gpu.New(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("%s under %s: %w", spec.Name, label, err)
-	}
-	inst.Setup(sim.Mem)
-	g, err := sim.Run(inst.Launch)
-	if err != nil {
-		return nil, fmt.Errorf("%s under %s: %w", spec.Name, label, err)
-	}
-	if s.Verify && inst.Check != nil {
-		if err := inst.Check(sim.Mem); err != nil {
-			return nil, fmt.Errorf("%s under %s: functional check failed: %w", spec.Name, label, err)
-		}
-	}
-	if s.Progress != nil {
-		s.Progress(fmt.Sprintf("%-10s %-24s IPC %7.2f  cycles %9d", spec.Name, label, g.IPC(), g.Cycles))
-	}
-	s.cache[key] = g
-	return g, nil
+	return s.exec(spec, label, cfg)
 }
 
 // extEarlyRelease implements the paper's first §VIII item: release a

@@ -8,9 +8,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"gpushare/internal/config"
-	"gpushare/internal/gpu"
+	"gpushare/internal/runner"
 	"gpushare/internal/stats"
 	"gpushare/internal/workloads"
 )
@@ -187,17 +188,34 @@ func sharingModeFor(s *workloads.Spec) config.SharingMode {
 	return config.ShareRegisters
 }
 
-// Session runs experiments with memoized simulation results.
+// Session runs experiments on top of the internal/runner job farm:
+// every simulation becomes a descriptor-addressed job, results are
+// memoized in the runner's two-tier cache (in-memory, plus on-disk when
+// CacheDir is set), and Precompute executes an experiment's whole job
+// matrix concurrently before the tables are assembled. Simulations are
+// deterministic, so parallel and sequential sessions produce
+// bit-identical tables.
 type Session struct {
 	// Scale multiplies workload grid sizes; 2 is the experiment default,
 	// 1 suits quick runs and benchmarks.
 	Scale int
-	// Verify re-checks functional outputs after every run.
+	// Verify re-checks functional outputs after every fresh run.
 	Verify bool
-	// Progress, when non-nil, receives a line per simulation run.
+	// Progress, when non-nil, receives a line per simulation run plus
+	// sweep progress during Precompute.
 	Progress func(string)
+	// Workers bounds concurrent simulations during Precompute
+	// (0 = runtime.GOMAXPROCS(0); 1 preserves sequential execution).
+	Workers int
+	// CacheDir enables the runner's on-disk result cache, reused across
+	// processes ("" disables it).
+	CacheDir string
 
-	cache map[string]*stats.GPU
+	mu sync.Mutex
+	r  *runner.Runner
+	// record, when non-nil, captures jobs instead of executing them
+	// (the planning pass of Precompute).
+	record func(runner.Job)
 }
 
 // NewSession returns a session at the given scale.
@@ -205,36 +223,89 @@ func NewSession(scale int) *Session {
 	if scale <= 0 {
 		scale = 2
 	}
-	return &Session{Scale: scale, cache: make(map[string]*stats.GPU)}
+	return &Session{Scale: scale}
 }
+
+// runner lazily builds the job runner so that Verify, Workers, and
+// CacheDir may be assigned any time before the first Run.
+func (s *Session) runner() *runner.Runner {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.r == nil {
+		s.r = runner.New(runner.Options{
+			Workers:  s.Workers,
+			CacheDir: s.CacheDir,
+			Verify:   s.Verify,
+			Progress: s.Progress,
+		})
+	}
+	return s.r
+}
+
+// Counters reports the session's cumulative job statistics (cache hits,
+// fresh simulations, failures).
+func (s *Session) Counters() runner.Counters { return s.runner().Counters() }
 
 // Run executes a workload under a named configuration (memoized).
 func (s *Session) Run(spec *workloads.Spec, name ConfigName, t float64) (*stats.GPU, error) {
-	key := fmt.Sprintf("%s|%s|%.3f|%d", spec.Name, name, t, s.Scale)
-	if g, ok := s.cache[key]; ok {
-		return g, nil
+	return s.exec(spec, string(name), buildConfig(name, sharingModeFor(spec), t))
+}
+
+// exec routes one simulation request through the runner. During a
+// Precompute planning pass it records the job descriptor and returns
+// placeholder statistics instead.
+func (s *Session) exec(spec *workloads.Spec, label string, cfg config.Config) (*stats.GPU, error) {
+	job := runner.Job{Workload: spec.Name, Config: cfg, Scale: s.Scale}
+	if s.record != nil {
+		s.record(job)
+		return &stats.GPU{}, nil
 	}
-	cfg := buildConfig(name, sharingModeFor(spec), t)
-	inst := spec.Build(s.Scale)
-	sim, err := gpu.New(cfg)
-	if err != nil {
-		return nil, fmt.Errorf("%s under %s: %w", spec.Name, name, err)
+	res := s.runner().Do(job)
+	if res.Err != nil {
+		return nil, fmt.Errorf("%s under %s: %w", spec.Name, label, res.Err)
 	}
-	inst.Setup(sim.Mem)
-	g, err := sim.Run(inst.Launch)
-	if err != nil {
-		return nil, fmt.Errorf("%s under %s: %w", spec.Name, name, err)
+	if s.Progress != nil && res.Tier == runner.Simulated {
+		s.Progress(fmt.Sprintf("%-10s %-24s IPC %7.2f  cycles %9d", spec.Name, label, res.Stats.IPC(), res.Stats.Cycles))
 	}
-	if s.Verify && inst.Check != nil {
-		if err := inst.Check(sim.Mem); err != nil {
-			return nil, fmt.Errorf("%s under %s: functional check failed: %w", spec.Name, name, err)
+	return res.Stats, nil
+}
+
+// Precompute collects every simulation the listed experiments request
+// and executes the deduplicated job set concurrently through the
+// runner's worker pool, so the subsequent Experiment calls assemble
+// their tables from pure cache hits. Individual job failures are not
+// reported here: the experiment that needs the failed result surfaces
+// the error exactly where a sequential run would.
+func (s *Session) Precompute(ids ...string) error {
+	var (
+		jobs []runner.Job
+		seen = map[string]bool{}
+	)
+	plan := &Session{
+		Scale: s.Scale,
+		record: func(j runner.Job) {
+			key, err := j.Key()
+			if err != nil || seen[key] {
+				return
+			}
+			seen[key] = true
+			jobs = append(jobs, j)
+		},
+	}
+	for _, id := range ids {
+		fn, ok := experiments[id]
+		if !ok {
+			return fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
+		}
+		// The planning pass sees placeholder statistics, so experiment
+		// errors here can only be workload-lookup failures; they recur
+		// in the real pass with full context.
+		if _, err := fn(plan); err != nil {
+			return err
 		}
 	}
-	if s.Progress != nil {
-		s.Progress(fmt.Sprintf("%-10s %-24s IPC %7.2f  cycles %9d", spec.Name, name, g.IPC(), g.Cycles))
-	}
-	s.cache[key] = g
-	return g, nil
+	s.runner().RunAll(jobs)
+	return nil
 }
 
 // Experiment runs the experiment with the given id ("fig8c", "table5",

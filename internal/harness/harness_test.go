@@ -264,6 +264,101 @@ func TestSessionCaching(t *testing.T) {
 	}
 }
 
+// TestParallelSessionMatchesSequential is the determinism guarantee of
+// the runner rewiring: a session that precomputes the experiment's job
+// matrix on an 8-worker pool renders a table byte-identical to a
+// strictly sequential session's.
+func TestParallelSessionMatchesSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	const id = "fig12a"
+
+	seq := NewSession(1)
+	seq.Workers = 1
+	seqTab, err := seq.Experiment(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	par := NewSession(1)
+	par.Workers = 8
+	if err := par.Precompute(id); err != nil {
+		t.Fatal(err)
+	}
+	parTab, err := par.Experiment(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if seqTab.Format() != parTab.Format() {
+		t.Errorf("parallel table differs from sequential:\n--- sequential\n%s--- parallel\n%s",
+			seqTab.Format(), parTab.Format())
+	}
+
+	// The precompute pass must have covered the whole matrix: assembling
+	// the table afterwards simulated nothing new.
+	c := par.Counters()
+	if c.Simulated == 0 {
+		t.Error("precompute simulated nothing")
+	}
+	if hits := c.Hits(); hits == 0 {
+		t.Error("table assembly hit the cache zero times")
+	}
+}
+
+// TestSessionDiskCache: a second session pointed at the same cache
+// directory reruns an experiment from disk without simulating.
+func TestSessionDiskCache(t *testing.T) {
+	dir := t.TempDir()
+	spec, err := workloads.ByName("gaussian")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	warm := NewSession(1)
+	warm.CacheDir = dir
+	g1, err := warm.Run(spec, UnsharedLRR, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cold := NewSession(1)
+	cold.CacheDir = dir
+	fresh := 0
+	cold.Progress = func(string) { fresh++ }
+	g2, err := cold.Run(spec, UnsharedLRR, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh != 0 {
+		t.Errorf("warm-cache rerun simulated %d times, want 0", fresh)
+	}
+	b1, _ := g1.EncodeJSON()
+	b2, _ := g2.EncodeJSON()
+	if string(b1) != string(b2) {
+		t.Error("disk-cached result differs from the original run")
+	}
+	if c := cold.Counters(); c.DiskHits != 1 {
+		t.Errorf("disk hits = %d, want 1", c.DiskHits)
+	}
+}
+
+// TestPrecomputeValidation: unknown ids fail fast; experiments without
+// simulations precompute trivially.
+func TestPrecomputeValidation(t *testing.T) {
+	s := NewSession(1)
+	if err := s.Precompute("fig99"); err == nil {
+		t.Error("unknown experiment id accepted")
+	}
+	if err := s.Precompute("hw", "fig1a", "table6"); err != nil {
+		t.Errorf("simulation-free experiments failed to precompute: %v", err)
+	}
+	if c := s.Counters(); c.Simulated != 0 {
+		t.Errorf("occupancy-only experiments simulated %d jobs", c.Simulated)
+	}
+}
+
 func TestHWExperiment(t *testing.T) {
 	tab, err := NewSession(1).Experiment("hw")
 	if err != nil {

@@ -1,0 +1,102 @@
+// Package runner turns every simulation into a descriptor-addressed
+// job and executes whole experiment matrices concurrently: a canonical
+// JobKey (a stable hash of workload, configuration, grid scale) indexes
+// a two-tier result cache (in-memory LRU over an on-disk JSON store,
+// versioned by simulator fingerprint), and a worker pool drains the job
+// queue with per-job panic capture, timeout, and bounded retry so one
+// diverging simulation cannot kill a sweep. Simulations are
+// deterministic, so a parallel run produces bit-identical statistics to
+// a sequential one; internal/harness builds the paper's tables on top.
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"runtime/debug"
+
+	"gpushare/internal/config"
+	"gpushare/internal/gpu"
+	"gpushare/internal/stats"
+	"gpushare/internal/workloads"
+)
+
+// Job describes one simulation: a workload (by registry name), the full
+// simulator configuration, and the grid scale. A Job is pure data — the
+// same descriptor always denotes the same deterministic simulation — so
+// results are cached under its content-addressed Key.
+type Job struct {
+	Workload string
+	Config   config.Config
+	Scale    int
+}
+
+// String renders a short human-readable job label for errors and logs.
+func (j Job) String() string {
+	return fmt.Sprintf("%s [%s] scale=%d", j.Workload, j.Config.String(), j.Scale)
+}
+
+// Key returns the job's content-addressed identity: the hex SHA-256 of
+// the canonical serialization of (workload, scale, config). Code
+// version is deliberately not part of the key — cache entries carry the
+// simulator fingerprint separately, so a fingerprint change invalidates
+// stored results without changing job identity.
+func (j Job) Key() (string, error) {
+	cfg, err := j.Config.CanonicalJSON()
+	if err != nil {
+		return "", fmt.Errorf("runner: serialize config: %w", err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "{\"workload\":%q,\"scale\":%d,\"config\":", j.Workload, j.Scale)
+	h.Write(cfg)
+	h.Write([]byte{'}'})
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// Fingerprint identifies the simulator code revision that produced a
+// cached result: gpu.Version (bumped manually on behavioural changes)
+// plus, when the binary carries VCS build info, the commit revision and
+// a dirty marker. Cached entries whose fingerprint differs from the
+// running binary's are re-simulated, never trusted.
+func Fingerprint() string {
+	fp := gpu.Version
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				fp += "+" + s.Value
+			case "vcs.modified":
+				if s.Value == "true" {
+					fp += "+dirty"
+				}
+			}
+		}
+	}
+	return fp
+}
+
+// simulate executes the job's simulation from scratch: it rebuilds the
+// workload instance at the job's scale, runs it under the job's
+// configuration, and optionally re-checks functional outputs.
+func simulate(j Job, verify bool) (*stats.GPU, error) {
+	spec, err := workloads.ByName(j.Workload)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := gpu.New(j.Config)
+	if err != nil {
+		return nil, err
+	}
+	inst := spec.Build(j.Scale)
+	inst.Setup(sim.Mem)
+	g, err := sim.Run(inst.Launch)
+	if err != nil {
+		return nil, err
+	}
+	if verify && inst.Check != nil {
+		if err := inst.Check(sim.Mem); err != nil {
+			return nil, fmt.Errorf("functional check failed: %w", err)
+		}
+	}
+	return g, nil
+}

@@ -1,0 +1,113 @@
+package runner
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// Counters is a snapshot of a runner's cumulative activity.
+type Counters struct {
+	Done      int64 // jobs resolved (hits + simulations + failures)
+	MemHits   int64
+	DiskHits  int64
+	Simulated int64 // fresh simulations completed
+	Failed    int64
+	SimCycles int64 // simulated GPU cycles accumulated by fresh runs
+	Elapsed   time.Duration
+}
+
+// Hits is the total cache hits across both tiers.
+func (c Counters) Hits() int64 { return c.MemHits + c.DiskHits }
+
+// HitRate is the fraction of resolved jobs served from cache.
+func (c Counters) HitRate() float64 {
+	if c.Done == 0 {
+		return 0
+	}
+	return float64(c.Hits()) / float64(c.Done)
+}
+
+// String renders a one-line summary.
+func (c Counters) String() string {
+	return fmt.Sprintf("%d jobs: %d simulated, %d cached (%.0f%% hit: %d mem, %d disk), %d failed, %s simulated-cycles in %s",
+		c.Done, c.Simulated, c.Hits(), c.HitRate()*100, c.MemHits, c.DiskHits,
+		c.Failed, humanCount(c.SimCycles), c.Elapsed.Round(time.Millisecond))
+}
+
+// Counters returns the runner's cumulative counters.
+func (r *Runner) Counters() Counters {
+	return Counters{
+		Done:      atomic.LoadInt64(&r.done),
+		MemHits:   atomic.LoadInt64(&r.memHits),
+		DiskHits:  atomic.LoadInt64(&r.diskHits),
+		Simulated: atomic.LoadInt64(&r.simulated),
+		Failed:    atomic.LoadInt64(&r.failures),
+		SimCycles: atomic.LoadInt64(&r.simCycles),
+		Elapsed:   time.Since(r.start),
+	}
+}
+
+// startReporter emits a progress line every ProgressInterval while a
+// RunAll sweep is draining: jobs done/total, cache hit rate, aggregate
+// simulated cycles per wall second, and an ETA extrapolated from the
+// completed jobs. It returns a stop function that emits one final line.
+func (r *Runner) startReporter(total int64, completed *int64) func() {
+	if r.opts.Progress == nil || total == 0 {
+		return func() {}
+	}
+	start := time.Now()
+	quit := make(chan struct{})
+	finished := make(chan struct{})
+
+	emit := func(final bool) {
+		done := atomic.LoadInt64(completed)
+		c := r.Counters()
+		elapsed := time.Since(start)
+		line := fmt.Sprintf("jobs %d/%d (%d%%)  cache %.0f%%  %s cycles/s",
+			done, total, done*100/total, c.HitRate()*100,
+			humanCount(int64(float64(c.SimCycles)/max(elapsed.Seconds(), 1e-9))))
+		if !final && done > 0 && done < total {
+			eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+			line += fmt.Sprintf("  eta %s", eta.Round(time.Second))
+		}
+		if final {
+			line += fmt.Sprintf("  done in %s", elapsed.Round(time.Millisecond))
+		}
+		r.progressMu.Lock()
+		r.opts.Progress(line)
+		r.progressMu.Unlock()
+	}
+
+	go func() {
+		defer close(finished)
+		t := time.NewTicker(r.opts.ProgressInterval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				emit(false)
+			case <-quit:
+				emit(true)
+				return
+			}
+		}
+	}()
+	return func() {
+		close(quit)
+		<-finished
+	}
+}
+
+// humanCount renders a count with k/M/G suffixes for progress lines.
+func humanCount(n int64) string {
+	switch {
+	case n >= 1e9:
+		return fmt.Sprintf("%.1fG", float64(n)/1e9)
+	case n >= 1e6:
+		return fmt.Sprintf("%.1fM", float64(n)/1e6)
+	case n >= 1e3:
+		return fmt.Sprintf("%.1fk", float64(n)/1e3)
+	}
+	return fmt.Sprintf("%d", n)
+}

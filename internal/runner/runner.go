@@ -1,0 +1,298 @@
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpushare/internal/stats"
+)
+
+// Options configures a Runner. The zero value is usable: GOMAXPROCS
+// workers, memory cache only, no timeout, one retry for panics and
+// timeouts.
+type Options struct {
+	// Workers bounds concurrent simulations in RunAll; 0 means
+	// runtime.GOMAXPROCS(0), 1 executes strictly sequentially.
+	Workers int
+	// CacheDir enables the on-disk result store ("" disables it). The
+	// directory is created on first write and is safe to share between
+	// concurrent processes.
+	CacheDir string
+	// MemEntries bounds the in-memory LRU tier (0 = default 4096).
+	MemEntries int
+	// Timeout aborts a single simulation attempt after this long
+	// (0 = no timeout). The abandoned attempt's goroutine still runs to
+	// the simulator's own MaxCycles safety valve; its result is
+	// discarded.
+	Timeout time.Duration
+	// Retries is how many extra attempts a job that panicked or timed
+	// out gets before being reported failed. Plain simulation errors
+	// are deterministic and never retried. 0 means the default (1);
+	// negative disables retries.
+	Retries int
+	// Verify re-checks functional outputs after fresh simulations.
+	// Cached results were verified when first produced.
+	Verify bool
+	// Fingerprint overrides the simulator code fingerprint, used by
+	// tests to model stale caches ("" = Fingerprint()).
+	Fingerprint string
+	// Progress, when non-nil, receives sweep progress lines from
+	// RunAll: jobs done/total, cache hit rate, aggregate simulated
+	// cycles per wall second, and an ETA.
+	Progress func(string)
+	// ProgressInterval is the reporting period (0 = 2s).
+	ProgressInterval time.Duration
+}
+
+// Result is one job's outcome.
+type Result struct {
+	Job      Job
+	Key      string
+	Stats    *stats.GPU // nil when Err is set
+	Tier     CacheTier  // where the result came from
+	Attempts int        // simulation attempts (0 on a cache hit)
+	Err      error
+}
+
+// Runner executes jobs through the two-tier cache with a worker pool.
+// All methods are safe for concurrent use.
+type Runner struct {
+	opts  Options
+	cache *store
+	// simFn is the simulation entry point; tests substitute failing or
+	// panicking implementations.
+	simFn func(Job, bool) (*stats.GPU, error)
+
+	mu       sync.Mutex
+	inflight map[string]*call
+	failed   map[string]error // memory-only negative cache
+
+	// Cumulative counters (atomics).
+	done      int64
+	memHits   int64
+	diskHits  int64
+	simulated int64
+	failures  int64
+	simCycles int64
+
+	progressMu sync.Mutex
+	start      time.Time
+}
+
+// call is one in-flight execution, deduplicating concurrent requests
+// for the same key (singleflight).
+type call struct {
+	doneCh chan struct{}
+	res    Result
+}
+
+// New builds a runner.
+func New(o Options) *Runner {
+	if o.Workers <= 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Retries == 0 {
+		o.Retries = 1
+	} else if o.Retries < 0 {
+		o.Retries = 0
+	}
+	if o.Fingerprint == "" {
+		o.Fingerprint = Fingerprint()
+	}
+	if o.ProgressInterval <= 0 {
+		o.ProgressInterval = 2 * time.Second
+	}
+	return &Runner{
+		opts:     o,
+		cache:    newStore(o.CacheDir, o.MemEntries, o.Fingerprint),
+		simFn:    simulate,
+		inflight: make(map[string]*call),
+		failed:   make(map[string]error),
+		start:    time.Now(),
+	}
+}
+
+// RunJob executes one job (cached) and returns its statistics.
+func (r *Runner) RunJob(j Job) (*stats.GPU, error) {
+	res := r.Do(j)
+	return res.Stats, res.Err
+}
+
+// Do executes one job through the cache and reports its provenance.
+// Concurrent Do calls for the same job key share a single execution.
+func (r *Runner) Do(j Job) Result {
+	key, err := j.Key()
+	if err != nil {
+		return Result{Job: j, Err: err}
+	}
+
+	r.mu.Lock()
+	if err, ok := r.failed[key]; ok {
+		r.mu.Unlock()
+		return Result{Job: j, Key: key, Err: err}
+	}
+	if c, ok := r.inflight[key]; ok {
+		r.mu.Unlock()
+		<-c.doneCh
+		res := c.res
+		res.Job = j
+		return res
+	}
+	c := &call{doneCh: make(chan struct{})}
+	r.inflight[key] = c
+	r.mu.Unlock()
+
+	c.res = r.execute(j, key)
+	close(c.doneCh)
+
+	r.mu.Lock()
+	delete(r.inflight, key)
+	if c.res.Err != nil {
+		r.failed[key] = c.res.Err
+	}
+	r.mu.Unlock()
+	return c.res
+}
+
+// RunAll executes every job through the worker pool, deduplicating by
+// key, and returns one Result per input job in input order. Individual
+// job failures are reported in their Result, not as an aggregate error:
+// one diverging simulation cannot kill the sweep.
+func (r *Runner) RunAll(jobs []Job) []Result {
+	results := make([]Result, len(jobs))
+
+	// Deduplicate so each distinct simulation is queued once; duplicate
+	// indices are filled from the leader's result afterwards.
+	leader := make(map[string]int, len(jobs))
+	var queue []int
+	for i, j := range jobs {
+		key, err := j.Key()
+		if err != nil {
+			results[i] = Result{Job: j, Err: err}
+			continue
+		}
+		results[i].Key = key
+		if _, ok := leader[key]; !ok {
+			leader[key] = i
+			queue = append(queue, i)
+		}
+	}
+
+	workers := r.opts.Workers
+	if workers > len(queue) {
+		workers = len(queue)
+	}
+	var completed int64
+	stop := r.startReporter(int64(len(queue)), &completed)
+
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				results[i] = r.Do(jobs[i])
+				atomic.AddInt64(&completed, 1)
+			}
+		}()
+	}
+	for _, i := range queue {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+	stop()
+
+	for i := range jobs {
+		if results[i].Stats != nil || results[i].Err != nil {
+			continue
+		}
+		li := leader[results[i].Key]
+		if li == i {
+			continue
+		}
+		res := results[li]
+		res.Job = jobs[i]
+		results[i] = res
+	}
+	return results
+}
+
+// execute resolves one job: cache lookup, then simulation with panic
+// capture, timeout, and bounded retry.
+func (r *Runner) execute(j Job, key string) Result {
+	if g, tier := r.cache.get(key); g != nil {
+		switch tier {
+		case FromMemory:
+			atomic.AddInt64(&r.memHits, 1)
+		case FromDisk:
+			atomic.AddInt64(&r.diskHits, 1)
+		}
+		atomic.AddInt64(&r.done, 1)
+		return Result{Job: j, Key: key, Stats: g, Tier: tier}
+	}
+
+	var lastErr error
+	attempts := 0
+	for attempts <= r.opts.Retries {
+		attempts++
+		g, err, retryable := r.attempt(j)
+		if err == nil {
+			if cerr := r.cache.put(key, g); cerr != nil {
+				// A failed cache write degrades to cache-miss behaviour;
+				// the result itself is still good.
+				lastErr = cerr
+			}
+			atomic.AddInt64(&r.simulated, 1)
+			atomic.AddInt64(&r.simCycles, g.Cycles)
+			atomic.AddInt64(&r.done, 1)
+			return Result{Job: j, Key: key, Stats: g, Tier: Simulated, Attempts: attempts}
+		}
+		lastErr = err
+		if !retryable {
+			break
+		}
+	}
+	atomic.AddInt64(&r.failures, 1)
+	atomic.AddInt64(&r.done, 1)
+	return Result{Job: j, Key: key, Attempts: attempts,
+		Err: fmt.Errorf("job %s (%d attempt(s)): %w", j, attempts, lastErr)}
+}
+
+// attempt runs one simulation attempt in its own goroutine, converting
+// panics into errors and enforcing the per-attempt timeout. Only panics
+// and timeouts are retryable; simulator errors are deterministic.
+func (r *Runner) attempt(j Job) (g *stats.GPU, err error, retryable bool) {
+	type outcome struct {
+		g        *stats.GPU
+		err      error
+		panicked bool
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		defer func() {
+			if p := recover(); p != nil {
+				ch <- outcome{err: fmt.Errorf("simulation panicked: %v", p), panicked: true}
+			}
+		}()
+		g, err := r.simFn(j, r.opts.Verify)
+		ch <- outcome{g: g, err: err}
+	}()
+
+	if r.opts.Timeout <= 0 {
+		o := <-ch
+		return o.g, o.err, o.panicked
+	}
+	timer := time.NewTimer(r.opts.Timeout)
+	defer timer.Stop()
+	select {
+	case o := <-ch:
+		return o.g, o.err, o.panicked
+	case <-timer.C:
+		return nil, fmt.Errorf("timed out after %s", r.opts.Timeout), true
+	}
+}

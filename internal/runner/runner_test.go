@@ -1,0 +1,427 @@
+package runner
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gpushare/internal/config"
+	"gpushare/internal/stats"
+)
+
+// cheapJob returns the fastest-simulating job in the suite (gaussian,
+// ~150ms at scale 1) with an optional configuration tweak.
+func cheapJob(mut func(*config.Config)) Job {
+	cfg := config.Default()
+	if mut != nil {
+		mut(&cfg)
+	}
+	return Job{Workload: "gaussian", Config: cfg, Scale: 1}
+}
+
+func TestJobKeyStable(t *testing.T) {
+	a := cheapJob(nil)
+	b := cheapJob(nil)
+	ka, err := a.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Fatalf("identical jobs produced different keys: %s vs %s", ka, kb)
+	}
+	if len(ka) != 64 {
+		t.Fatalf("key is not a hex sha256: %q", ka)
+	}
+
+	c := cheapJob(func(c *config.Config) { c.Sched = config.SchedGTO })
+	kc, _ := c.Key()
+	if kc == ka {
+		t.Fatal("different configurations share a key")
+	}
+	d := cheapJob(nil)
+	d.Scale = 2
+	kd, _ := d.Key()
+	if kd == ka {
+		t.Fatal("different scales share a key")
+	}
+	e := cheapJob(nil)
+	e.Workload = "NN"
+	ke, _ := e.Key()
+	if ke == ka {
+		t.Fatal("different workloads share a key")
+	}
+}
+
+// TestDeterministicAcrossParallelism is the runner's core guarantee:
+// the same job simulated twice — and simulated under an 8-worker pool
+// with duplicated entries — yields byte-identical serialized statistics.
+func TestDeterministicAcrossParallelism(t *testing.T) {
+	jobs := []Job{
+		cheapJob(nil),
+		cheapJob(func(c *config.Config) { c.Sched = config.SchedGTO }),
+	}
+
+	// Two independent sequential simulations of the same key.
+	var seq [][]byte
+	for run := 0; run < 2; run++ {
+		r := New(Options{Workers: 1})
+		g, err := r.RunJob(jobs[0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := g.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seq = append(seq, b)
+	}
+	if !bytes.Equal(seq[0], seq[1]) {
+		t.Fatal("two sequential runs of the same job differ byte-for-byte")
+	}
+
+	// An 8-worker sweep over the jobs duplicated 4x each.
+	var dup []Job
+	for i := 0; i < 4; i++ {
+		dup = append(dup, jobs...)
+	}
+	r := New(Options{Workers: 8})
+	results := r.RunAll(dup)
+	if len(results) != len(dup) {
+		t.Fatalf("got %d results for %d jobs", len(results), len(dup))
+	}
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("job %d: %v", i, res.Err)
+		}
+		b, err := res.Stats.EncodeJSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%len(jobs) == 0 && !bytes.Equal(b, seq[0]) {
+			t.Fatalf("parallel result %d differs from the sequential run", i)
+		}
+	}
+	c := r.Counters()
+	if c.Simulated != int64(len(jobs)) {
+		t.Fatalf("deduplication failed: %d simulations for %d distinct jobs", c.Simulated, len(jobs))
+	}
+}
+
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	job := cheapJob(nil)
+
+	r1 := New(Options{Workers: 1, CacheDir: dir})
+	res1 := r1.Do(job)
+	if res1.Err != nil {
+		t.Fatal(res1.Err)
+	}
+	if res1.Tier != Simulated {
+		t.Fatalf("first run tier = %s, want simulated", res1.Tier)
+	}
+
+	// A fresh runner (cold memory cache) must hit the disk store and
+	// return byte-identical statistics.
+	r2 := New(Options{Workers: 1, CacheDir: dir})
+	res2 := r2.Do(job)
+	if res2.Err != nil {
+		t.Fatal(res2.Err)
+	}
+	if res2.Tier != FromDisk {
+		t.Fatalf("second process tier = %s, want disk-cache", res2.Tier)
+	}
+	b1, _ := res1.Stats.EncodeJSON()
+	b2, _ := res2.Stats.EncodeJSON()
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("disk-cached statistics differ from the simulated ones")
+	}
+
+	// Same runner again: now a memory hit.
+	if res3 := r2.Do(job); res3.Tier != FromMemory {
+		t.Fatalf("third lookup tier = %s, want memory-cache", res3.Tier)
+	}
+}
+
+func TestCorruptCacheEntryIsResimulated(t *testing.T) {
+	dir := t.TempDir()
+	job := cheapJob(nil)
+	key, _ := job.Key()
+
+	r1 := New(Options{Workers: 1, CacheDir: dir})
+	if res := r1.Do(job); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	path := filepath.Join(dir, storeVersion, key[:2], key+".json")
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("cache entry not written: %v", err)
+	}
+
+	corruptions := map[string]func([]byte) []byte{
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"bit-flip":  func(b []byte) []byte { b[len(b)/2] ^= 0x40; return b },
+		"not-json":  func([]byte) []byte { return []byte("junk") },
+		"wrong-sum": func(b []byte) []byte {
+			return bytes.Replace(b, []byte(`"sum":"`), []byte(`"sum":"00`), 1)
+		},
+	}
+	for name, corrupt := range corruptions {
+		t.Run(name, func(t *testing.T) {
+			good, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, corrupt(append([]byte(nil), good...)), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			r := New(Options{Workers: 1, CacheDir: dir})
+			res := r.Do(job)
+			if res.Err != nil {
+				t.Fatal(res.Err)
+			}
+			if res.Tier != Simulated {
+				t.Fatalf("corrupt entry served from %s instead of being re-simulated", res.Tier)
+			}
+			if _, err := os.ReadFile(path); err != nil {
+				t.Fatalf("re-simulation did not rewrite the entry: %v", err)
+			}
+		})
+	}
+}
+
+func TestStaleFingerprintIsResimulated(t *testing.T) {
+	dir := t.TempDir()
+	job := cheapJob(nil)
+
+	old := New(Options{Workers: 1, CacheDir: dir, Fingerprint: "sim-v0+deadbeef"})
+	if res := old.Do(job); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+
+	cur := New(Options{Workers: 1, CacheDir: dir})
+	res := cur.Do(job)
+	if res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	if res.Tier != Simulated {
+		t.Fatalf("stale-fingerprint entry trusted (tier %s)", res.Tier)
+	}
+
+	// And the rewritten entry now carries the current fingerprint.
+	cur2 := New(Options{Workers: 1, CacheDir: dir})
+	if res := cur2.Do(job); res.Tier != FromDisk {
+		t.Fatalf("rewritten entry not served from disk (tier %s)", res.Tier)
+	}
+}
+
+// TestPanicIsolation: a panicking simulation fails its own job with a
+// captured error and leaves the rest of the sweep intact.
+func TestPanicIsolation(t *testing.T) {
+	bad := cheapJob(func(c *config.Config) { c.Seed = 1 })
+	badKey, _ := bad.Key()
+
+	r := New(Options{Workers: 4, Retries: -1})
+	real := r.simFn
+	var calls int64
+	r.simFn = func(j Job, verify bool) (*stats.GPU, error) {
+		if k, _ := j.Key(); k == badKey {
+			atomic.AddInt64(&calls, 1)
+			panic("diverging simulation")
+		}
+		return real(j, verify)
+	}
+
+	jobs := []Job{cheapJob(nil), bad, cheapJob(func(c *config.Config) { c.Sched = config.SchedGTO })}
+	results := r.RunAll(jobs)
+	if results[1].Err == nil {
+		t.Fatal("panicking job reported success")
+	}
+	if results[0].Err != nil || results[2].Err != nil {
+		t.Fatalf("panic killed healthy jobs: %v, %v", results[0].Err, results[2].Err)
+	}
+	// The failure is remembered: asking again must not re-simulate.
+	if res := r.Do(bad); res.Err == nil {
+		t.Fatal("failure not cached")
+	}
+	if got := atomic.LoadInt64(&calls); got != 1 {
+		t.Fatalf("failed job simulated %d times, want 1", got)
+	}
+}
+
+func TestPanicRetry(t *testing.T) {
+	r := New(Options{Workers: 1}) // default: 1 retry
+	real := r.simFn
+	var calls int64
+	r.simFn = func(j Job, verify bool) (*stats.GPU, error) {
+		if atomic.AddInt64(&calls, 1) == 1 {
+			panic("transient")
+		}
+		return real(j, verify)
+	}
+	res := r.Do(cheapJob(nil))
+	if res.Err != nil {
+		t.Fatalf("retry did not recover: %v", res.Err)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", res.Attempts)
+	}
+}
+
+func TestPlainErrorIsNotRetried(t *testing.T) {
+	r := New(Options{Workers: 1})
+	var calls int64
+	r.simFn = func(Job, bool) (*stats.GPU, error) {
+		atomic.AddInt64(&calls, 1)
+		return nil, os.ErrInvalid
+	}
+	if res := r.Do(cheapJob(nil)); res.Err == nil {
+		t.Fatal("error swallowed")
+	}
+	if calls != 1 {
+		t.Fatalf("deterministic error retried: %d calls", calls)
+	}
+}
+
+func TestTimeout(t *testing.T) {
+	r := New(Options{Workers: 1, Timeout: 10 * time.Millisecond, Retries: -1})
+	release := make(chan struct{})
+	r.simFn = func(Job, bool) (*stats.GPU, error) {
+		<-release
+		return &stats.GPU{}, nil
+	}
+	res := r.Do(cheapJob(nil))
+	close(release)
+	if res.Err == nil {
+		t.Fatal("timed-out job reported success")
+	}
+}
+
+// TestSingleflight: concurrent requests for one key share a single
+// simulation.
+func TestSingleflight(t *testing.T) {
+	r := New(Options{Workers: 8})
+	real := r.simFn
+	var calls int64
+	gate := make(chan struct{})
+	r.simFn = func(j Job, verify bool) (*stats.GPU, error) {
+		atomic.AddInt64(&calls, 1)
+		<-gate
+		return real(j, verify)
+	}
+	job := cheapJob(nil)
+	var wg sync.WaitGroup
+	errs := make([]error, 8)
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = r.Do(job).Err
+		}(i)
+	}
+	time.Sleep(20 * time.Millisecond) // let every goroutine reach Do
+	close(gate)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 1 {
+		t.Fatalf("%d simulations for one key under concurrent Do", calls)
+	}
+}
+
+func TestMemoryLRUEviction(t *testing.T) {
+	s := newStore("", 2, "fp")
+	a, b, c := &stats.GPU{Cycles: 1}, &stats.GPU{Cycles: 2}, &stats.GPU{Cycles: 3}
+	s.putMem("a", a)
+	s.putMem("b", b)
+	if g, _ := s.get("a"); g != a { // touch a: b becomes the eviction victim
+		t.Fatal("miss on resident entry")
+	}
+	s.putMem("c", c)
+	if g, _ := s.get("b"); g != nil {
+		t.Fatal("LRU kept the least recently used entry")
+	}
+	if g, _ := s.get("a"); g != a {
+		t.Fatal("LRU evicted the recently used entry")
+	}
+	if g, _ := s.get("c"); g != c {
+		t.Fatal("newest entry missing")
+	}
+}
+
+func TestProgressReporting(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	r := New(Options{
+		Workers:          4,
+		Progress:         func(l string) { mu.Lock(); lines = append(lines, l); mu.Unlock() },
+		ProgressInterval: time.Millisecond,
+	})
+	r.simFn = func(Job, bool) (*stats.GPU, error) {
+		time.Sleep(5 * time.Millisecond)
+		return &stats.GPU{Cycles: 100}, nil
+	}
+	jobs := []Job{
+		cheapJob(nil),
+		cheapJob(func(c *config.Config) { c.Sched = config.SchedGTO }),
+		cheapJob(func(c *config.Config) { c.Sched = config.SchedOWF }),
+	}
+	r.RunAll(jobs)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(lines) == 0 {
+		t.Fatal("no progress lines emitted")
+	}
+	final := lines[len(lines)-1]
+	if want := "jobs 3/3"; !bytes.Contains([]byte(final), []byte(want)) {
+		t.Fatalf("final progress line %q missing %q", final, want)
+	}
+}
+
+func TestCountersAndHitRate(t *testing.T) {
+	r := New(Options{Workers: 1})
+	job := cheapJob(nil)
+	if res := r.Do(job); res.Err != nil {
+		t.Fatal(res.Err)
+	}
+	r.Do(job)
+	r.Do(job)
+	c := r.Counters()
+	if c.Simulated != 1 || c.MemHits != 2 || c.Done != 3 {
+		t.Fatalf("counters = %+v, want 1 simulated / 2 mem hits / 3 done", c)
+	}
+	if got := c.HitRate(); got < 0.66 || got > 0.67 {
+		t.Fatalf("hit rate = %v, want 2/3", got)
+	}
+	if c.SimCycles == 0 {
+		t.Fatal("no simulated cycles recorded")
+	}
+}
+
+func TestVerifyFailureSurfaces(t *testing.T) {
+	// NQU has a functional check; a runner with Verify runs it. Force a
+	// failure path instead through a config that cannot build.
+	bad := cheapJob(func(c *config.Config) { c.NumSMs = -1 })
+	r := New(Options{Workers: 1})
+	if res := r.Do(bad); res.Err == nil {
+		t.Fatal("invalid configuration accepted")
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	r := New(Options{Workers: 1})
+	j := cheapJob(nil)
+	j.Workload = "no-such-benchmark"
+	if res := r.Do(j); res.Err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}

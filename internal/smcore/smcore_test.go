@@ -323,8 +323,8 @@ func TestRFBankConflictModel(t *testing.T) {
 		return runToCompletion(t, sm, ms, 100000)
 	}
 
-	conflicting := build(16)    // r0 and r16 share bank 0 of 16
-	clean := build(17)          // r0 and r17 do not
+	conflicting := build(16) // r0 and r16 share bank 0 of 16
+	clean := build(17)       // r0 and r17 do not
 	if got := run(conflicting, 0); got != run(clean, 0) {
 		t.Error("model disabled: bank layout must not matter")
 	}

@@ -4,6 +4,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"strings"
 )
@@ -135,6 +136,69 @@ func (g *GPU) IdleCycles() int64 {
 		n += g.SMs[i].IdleCycles
 	}
 	return n
+}
+
+// EncodeJSON returns the canonical serialization of the run: identical
+// stats always encode to identical bytes (Go's json package emits
+// struct fields in declaration order with a fixed number format), so
+// the encoding doubles as the payload of content-addressed result
+// caches and as the byte-level equality witness in determinism tests.
+func (g *GPU) EncodeJSON() ([]byte, error) {
+	return json.Marshal(g)
+}
+
+// DecodeJSON parses a serialization produced by EncodeJSON.
+func DecodeJSON(b []byte) (*GPU, error) {
+	g := &GPU{}
+	if err := json.Unmarshal(b, g); err != nil {
+		return nil, fmt.Errorf("stats: decode: %w", err)
+	}
+	return g, nil
+}
+
+// Merge accumulates another run's counters into g, for aggregate
+// reporting over a sweep of independent simulations: cycles and all
+// event counters sum, per-SM counters sum index-wise (the SM slice
+// grows to cover other's), and ResidentTB keeps the maximum. Merged
+// ratios (IPC, miss rates) are then sweep totals, not per-run values.
+func (g *GPU) Merge(other *GPU) {
+	g.Cycles += other.Cycles
+	for len(g.SMs) < len(other.SMs) {
+		g.SMs = append(g.SMs, SM{})
+	}
+	for i := range other.SMs {
+		o := &other.SMs[i]
+		m := &g.SMs[i]
+		m.Cycles += o.Cycles
+		m.WarpInstrs += o.WarpInstrs
+		m.ThreadInstrs += o.ThreadInstrs
+		m.StallCycles += o.StallCycles
+		m.IdleCycles += o.IdleCycles
+		m.BlockScoreboard += o.BlockScoreboard
+		m.BlockUnit += o.BlockUnit
+		m.BlockLockWait += o.BlockLockWait
+		m.BlockDynGate += o.BlockDynGate
+		m.BlockMemPipe += o.BlockMemPipe
+		m.BlocksLaunched += o.BlocksLaunched
+		m.BlocksShared += o.BlocksShared
+		if o.MaxResidentTB > m.MaxResidentTB {
+			m.MaxResidentTB = o.MaxResidentTB
+		}
+		m.OwnershipXfers += o.OwnershipXfers
+		m.EarlyRegRelease += o.EarlyRegRelease
+		m.LockAcquires += o.LockAcquires
+		m.BarrierWaits += o.BarrierWaits
+		m.SharedRegWaits += o.SharedRegWaits
+		m.SharedMemWaits += o.SharedMemWaits
+		m.BankConflicts += o.BankConflicts
+		m.CoalescedAccess += o.CoalescedAccess
+	}
+	g.L1.Add(&other.L1)
+	g.L2.Add(&other.L2)
+	g.DRAM.Add(&other.DRAM)
+	if other.ResidentTB > g.ResidentTB {
+		g.ResidentTB = other.ResidentTB
+	}
 }
 
 // PercentChange returns (new-old)/old*100, or 0 when old is 0.

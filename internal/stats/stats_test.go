@@ -83,3 +83,59 @@ func TestReportContainsKeyMetrics(t *testing.T) {
 		}
 	}
 }
+
+func TestJSONRoundTrip(t *testing.T) {
+	g := &GPU{Cycles: 1234, ResidentTB: 3}
+	g.SMs = []SM{{ThreadInstrs: 77, WarpInstrs: 9, LockAcquires: 2}}
+	g.L1 = Cache{Accesses: 10, Hits: 7, Misses: 3}
+	g.DRAM = DRAM{Reads: 4, RowHits: 2}
+
+	b1, err := g.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeJSON(b1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := got.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(b1) != string(b2) {
+		t.Error("encode/decode/encode is not byte-stable")
+	}
+	if got.Cycles != g.Cycles || got.SMs[0].ThreadInstrs != 77 || got.L1.Hits != 7 {
+		t.Errorf("round trip lost fields: %+v", got)
+	}
+	if _, err := DecodeJSON([]byte("{not json")); err == nil {
+		t.Error("malformed JSON accepted")
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := &GPU{Cycles: 100, ResidentTB: 2}
+	a.SMs = []SM{{ThreadInstrs: 10, MaxResidentTB: 4}}
+	a.L1 = Cache{Accesses: 5, Hits: 3, Misses: 2}
+
+	b := &GPU{Cycles: 50, ResidentTB: 6}
+	b.SMs = []SM{{ThreadInstrs: 20, MaxResidentTB: 2}, {ThreadInstrs: 7}}
+	b.L1 = Cache{Accesses: 1, Hits: 1}
+
+	a.Merge(b)
+	if a.Cycles != 150 {
+		t.Errorf("Cycles = %d, want 150", a.Cycles)
+	}
+	if len(a.SMs) != 2 || a.SMs[0].ThreadInstrs != 30 || a.SMs[1].ThreadInstrs != 7 {
+		t.Errorf("SM merge wrong: %+v", a.SMs)
+	}
+	if a.SMs[0].MaxResidentTB != 4 {
+		t.Errorf("MaxResidentTB = %d, want max(4,2)=4", a.SMs[0].MaxResidentTB)
+	}
+	if a.L1.Accesses != 6 || a.L1.Hits != 4 {
+		t.Errorf("L1 merge wrong: %+v", a.L1)
+	}
+	if a.ResidentTB != 6 {
+		t.Errorf("ResidentTB = %d, want max(2,6)=6", a.ResidentTB)
+	}
+}

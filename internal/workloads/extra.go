@@ -20,6 +20,8 @@ var EpilogueMicro = &Spec{
 	Build: buildEpilogueMicro,
 }
 
+func init() { extras = append(extras, EpilogueMicro) }
+
 const (
 	epiSharedIters = 8
 	epiTailIters   = 48

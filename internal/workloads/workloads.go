@@ -61,6 +61,12 @@ type Instance struct {
 
 var registry []*Spec
 
+// extras are runnable specs outside the paper's 19-application registry
+// (microbenchmarks). They are excluded from All/BySet but resolvable by
+// name, so descriptor-addressed job runners (internal/runner) can
+// rebuild any workload a harness experiment references.
+var extras []*Spec
+
 func register(s *Spec) *Spec {
 	registry = append(registry, s)
 	return s
@@ -80,9 +86,15 @@ func BySet(s Set) []*Spec {
 	return out
 }
 
-// ByName looks a workload up by its paper name.
+// ByName looks a workload up by its paper name. Extra specs outside
+// the paper registry (microbenchmarks) resolve too.
 func ByName(name string) (*Spec, error) {
 	for _, w := range registry {
+		if w.Name == name {
+			return w, nil
+		}
+	}
+	for _, w := range extras {
 		if w.Name == name {
 			return w, nil
 		}

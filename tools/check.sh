@@ -1,0 +1,32 @@
+#!/bin/sh
+# Pre-PR gate: vet + formatting + build + race-checked tests for the
+# concurrency-bearing packages (the runner's worker pool / singleflight
+# and the session layer on top of it). Run from the repository root:
+#
+#     ./tools/check.sh          # race tests in -short mode (~seconds)
+#     ./tools/check.sh -full    # race tests without -short
+set -eu
+
+cd "$(dirname "$0")/.."
+
+short="-short"
+[ "${1-}" = "-full" ] && short=""
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race (runner, harness)"
+go test -race $short ./internal/runner/ ./internal/harness/
+
+echo "ok"
