@@ -37,6 +37,8 @@ func main() {
 		md       = flag.Bool("md", false, "emit GitHub-flavoured Markdown (with paper values when -paper)")
 		workers  = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = sequential, results identical either way)")
 		cacheDir = flag.String("cachedir", "", "on-disk result cache directory, reused across runs ('' disables)")
+		invar    = flag.Int64("invariants", 0, "audit simulator invariants every N cycles (0 disables; audited runs cache separately)")
+		strict   = flag.Bool("strict", false, "abort on the first failed simulation instead of rendering a zeroed cell with its diagnosis")
 	)
 	flag.Parse()
 
@@ -53,6 +55,8 @@ func main() {
 	s.Verify = *verify
 	s.Workers = *workers
 	s.CacheDir = *cacheDir
+	s.InvariantStride = *invar
+	s.SoftFail = !*strict
 	if *verbose {
 		s.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}

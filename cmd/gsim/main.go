@@ -18,6 +18,7 @@ import (
 	"gpushare/internal/config"
 	"gpushare/internal/gpu"
 	"gpushare/internal/runner"
+	"gpushare/internal/simerr"
 	"gpushare/internal/workloads"
 )
 
@@ -33,6 +34,7 @@ func main() {
 		release  = flag.Bool("earlyrelease", false, "enable early shared-register release (§VIII ext.)")
 		l1pol    = flag.String("l1policy", "LRU", "L1 replacement policy: LRU, FIFO, Rand")
 		trace    = flag.Int64("trace", 0, "emit a progress snapshot every N cycles")
+		invar    = flag.Int64("invariants", 0, "audit simulator invariants every N cycles (0 disables)")
 		scale    = flag.Int("scale", 1, "workload grid scale")
 		verify   = flag.Bool("verify", true, "check functional outputs after the run")
 		showOcc  = flag.Bool("occupancy", false, "print the occupancy plan and exit")
@@ -66,6 +68,7 @@ func main() {
 	cfg.L1Policy, err = config.ParseCachePolicy(*l1pol)
 	fatal(err)
 	cfg.TraceInterval = *trace
+	cfg.InvariantStride = *invar
 
 	sim, err := gpu.New(cfg)
 	fatal(err)
@@ -90,7 +93,7 @@ func main() {
 	if *cacheDir != "" && *trace == 0 {
 		r := runner.New(runner.Options{Workers: 1, CacheDir: *cacheDir, Verify: *verify})
 		res := r.Do(runner.Job{Workload: spec.Name, Config: cfg, Scale: *scale})
-		fatal(res.Err)
+		fatalSim(res.Err)
 		fmt.Print(res.Stats.Report())
 		fmt.Printf("result source: %s\n", res.Tier)
 		if *verify && res.Tier == runner.Simulated {
@@ -101,7 +104,7 @@ func main() {
 
 	inst.Setup(sim.Mem)
 	g, err := sim.Run(inst.Launch)
-	fatal(err)
+	fatalSim(err)
 	fmt.Print(g.Report())
 
 	if *verify && inst.Check != nil {
@@ -118,4 +121,18 @@ func fatal(err error) {
 		fmt.Fprintln(os.Stderr, "gsim:", err)
 		os.Exit(1)
 	}
+}
+
+// fatalSim is fatal with forensics: a typed simulation error prints its
+// full diagnosis (per-warp state, stall reasons, memory queue depths)
+// rather than just the one-line header.
+func fatalSim(err error) {
+	if err == nil {
+		return
+	}
+	if se, ok := simerr.As(err); ok && se.Dump != nil {
+		fmt.Fprintln(os.Stderr, "gsim:", se.Diagnosis())
+		os.Exit(1)
+	}
+	fatal(err)
 }

@@ -33,6 +33,7 @@ import (
 	"gpushare/internal/asm"
 	"gpushare/internal/config"
 	"gpushare/internal/core"
+	"gpushare/internal/fault"
 	"gpushare/internal/gpu"
 	"gpushare/internal/harness"
 	"gpushare/internal/hw"
@@ -41,6 +42,7 @@ import (
 	"gpushare/internal/mem"
 	"gpushare/internal/opt/unroll"
 	"gpushare/internal/runner"
+	"gpushare/internal/simerr"
 	"gpushare/internal/stats"
 	"gpushare/internal/workloads"
 )
@@ -222,3 +224,61 @@ const (
 // NewRunner builds a simulation runner. A zero Options value gives
 // GOMAXPROCS workers and a memory-only cache.
 func NewRunner(o RunnerOptions) *SimRunner { return runner.New(o) }
+
+// Diagnostics. Every failure a simulation returns is a *SimError: a
+// typed error carrying the failure kind, the cycle it was detected at,
+// and — for hangs, watchdog trips, and invariant violations — a
+// forensic dump of per-warp and memory-system state. Enable cycle-level
+// auditing by setting Config.InvariantStride.
+type (
+	// SimError is the structured simulation error. Diagnosis() renders
+	// the header plus the full forensic dump.
+	SimError = simerr.SimError
+	// ErrorKind classifies a SimError (config, launch, exec, invariant,
+	// watchdog, max-cycles, ...).
+	ErrorKind = simerr.Kind
+	// ForensicDump is the snapshot attached to hang and invariant
+	// errors: per-SM, per-warp state with stall reasons, plus memory
+	// queue depths.
+	ForensicDump = simerr.Dump
+)
+
+// Error kinds.
+const (
+	ErrConfig        = simerr.KindConfig
+	ErrLaunch        = simerr.KindLaunch
+	ErrUnschedulable = simerr.KindUnschedulable
+	ErrExec          = simerr.KindExec
+	ErrInvariant     = simerr.KindInvariant
+	ErrWatchdog      = simerr.KindWatchdog
+	ErrMaxCycles     = simerr.KindMaxCycles
+)
+
+// AsSimError unwraps err to the *SimError in its chain, if any.
+func AsSimError(err error) (*SimError, bool) { return simerr.As(err) }
+
+// Fault injection (testing the simulator itself). A FaultPlan armed on
+// Simulator.Faults deterministically corrupts one internal event — a
+// dropped memory reply, a corrupted sharing-lease release, or a skipped
+// barrier arrival — so harnesses can prove the invariant auditor and
+// watchdog catch real defects rather than returning wrong results.
+type (
+	// FaultPlan injects its Nth opportunity for the configured fault
+	// kind; the simulation must then fail with a SimError.
+	FaultPlan = fault.Plan
+	// FaultKind selects what the plan corrupts.
+	FaultKind = fault.Kind
+)
+
+// Fault kinds.
+const (
+	FaultDropMemReply        = fault.DropMemReply
+	FaultCorruptLeaseRelease = fault.CorruptLeaseRelease
+	FaultSkipBarrierArrival  = fault.SkipBarrierArrival
+)
+
+// NewFaultPlan builds a deterministic injection plan: the fault fires at
+// the plan's Nth opportunity, with Nth derived from seed in [1, spread].
+func NewFaultPlan(kind FaultKind, seed uint64, spread int) *FaultPlan {
+	return fault.NewPlan(kind, seed, spread)
+}

@@ -95,3 +95,55 @@ func TestPublicAPIExperiments(t *testing.T) {
 		t.Errorf("table6 hotspot@90%% = %v", v)
 	}
 }
+
+// TestPublicAPIDiagnostics exercises the structured-error surface: a
+// config error is a typed SimError, and an injected fault under
+// invariant auditing surfaces as an invariant violation whose diagnosis
+// includes the forensic dump.
+func TestPublicAPIDiagnostics(t *testing.T) {
+	bad := gpushare.DefaultConfig()
+	bad.NumSMs = 0
+	if _, err := gpushare.NewSimulator(bad); err == nil {
+		t.Fatal("zero-SM config accepted")
+	} else if se, ok := gpushare.AsSimError(err); !ok || se.Kind != gpushare.ErrConfig {
+		t.Fatalf("config error is not a SimError[config]: %v", err)
+	}
+
+	cfg := gpushare.DefaultConfig()
+	cfg.NumSMs = 2
+	cfg.InvariantStride = 64
+	sim, err := gpushare.NewSimulator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Faults = gpushare.NewFaultPlan(gpushare.FaultDropMemReply, 1, 4)
+
+	b := gpushare.NewKernel("inc", 64)
+	b.Params(1)
+	b.IMad(0, gpushare.Sreg(gpushare.SrCtaid), gpushare.Sreg(gpushare.SrNtid), gpushare.Sreg(gpushare.SrTid))
+	b.Shl(1, gpushare.Reg(0), gpushare.Imm(2))
+	b.LdParam(2, 0)
+	b.IAdd(2, gpushare.Reg(2), gpushare.Reg(1))
+	b.LdG(3, gpushare.Reg(2), 0)
+	b.StG(gpushare.Reg(2), 0, gpushare.Reg(3))
+	b.Exit()
+	k, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := sim.Mem.Alloc(4 * 64 * 8)
+	_, err = sim.Run(&gpushare.Launch{Kernel: k, GridDim: 8, Params: []uint32{addr}})
+	if err == nil {
+		t.Fatal("dropped reply went undetected")
+	}
+	se, ok := gpushare.AsSimError(err)
+	if !ok {
+		t.Fatalf("run error is not a SimError: %v", err)
+	}
+	if se.Kind != gpushare.ErrInvariant && se.Kind != gpushare.ErrWatchdog {
+		t.Fatalf("kind = %v, want invariant or watchdog", se.Kind)
+	}
+	if se.Dump == nil || !strings.Contains(se.Diagnosis(), "forensic dump") {
+		t.Fatalf("diagnosis lacks forensic dump:\n%s", se.Diagnosis())
+	}
+}

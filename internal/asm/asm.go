@@ -463,7 +463,10 @@ func parseMemRef(s string) (isa.Operand, int32, error) {
 	if !strings.HasPrefix(s, "[") || !strings.HasSuffix(s, "]") {
 		return isa.None, 0, fmt.Errorf("bad memory reference %q", s)
 	}
-	inner := s[1 : len(s)-1]
+	inner := strings.TrimSpace(s[1 : len(s)-1])
+	if inner == "" {
+		return isa.None, 0, fmt.Errorf("empty memory reference %q", s)
+	}
 	// forms: [rN], [rN+off], [rN-off]
 	idx := strings.IndexAny(inner[1:], "+-")
 	if idx < 0 {

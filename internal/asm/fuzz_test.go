@@ -1,0 +1,60 @@
+package asm
+
+import (
+	"testing"
+)
+
+// FuzzAssemble throws arbitrary text at the assembler. Two properties must
+// hold: Parse never panics (it returns an error for malformed input),
+// and any kernel it accepts round-trips through the printer — the
+// printed form re-assembles, and printing again is a fixed point.
+func FuzzAssemble(f *testing.F) {
+	seeds := []string{
+		// The package-doc example.
+		`.kernel saxpy
+.block 256
+.regs 8
+.params 3
+
+	imad r0, %ctaid, %ntid, %tid
+	shl r1, r0, 2
+	ld.param r2, [0]
+	iadd r2, r2, r1
+	ld.global r3, [r2+0]
+loop:
+	setp.lt p0, r4, 100
+@p0	bra loop, reconv done
+done:
+	exit
+`,
+		// Memory-reference forms, including negative offsets.
+		".kernel m\n.block 32\n.regs 4\n.smem 64\n\tld.shared r0, [r1-4]\n\tst.shared [r0+0], r2\n\texit\n",
+		// Guards, floats, selp, specials.
+		".kernel g\n.block 32\n.regs 4\n\tsetp.flt p1, 1.5f, r0\n@!p1\tselp r1, r2, r3, p1\n\tmov r0, %lane\n\texit\n",
+		// Historical crasher: an empty memory reference.
+		".kernel c\n.block 32\n.regs 2\n\tld.global r0, []\n\texit\n",
+		// Malformed fragments the parser must reject cleanly.
+		"@",
+		".block x",
+		"bra",
+		"\tld.param r0, [oops]\n",
+		"label:\nlabel:\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, text string) {
+		k, err := Parse(text)
+		if err != nil {
+			return
+		}
+		printed := Print(k)
+		k2, err := Parse(printed)
+		if err != nil {
+			t.Fatalf("accepted kernel does not re-assemble: %v\ninput:\n%s\nprinted:\n%s", err, text, printed)
+		}
+		if again := Print(k2); again != printed {
+			t.Fatalf("print/parse round-trip is not a fixed point:\n-- first --\n%s\n-- second --\n%s", printed, again)
+		}
+	})
+}

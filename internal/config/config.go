@@ -222,6 +222,18 @@ type Config struct {
 	Seed          uint64  // PRNG seed for the dyn gate
 	MaxCycles     int64   // simulation safety valve; 0 = default
 	TraceInterval int64   // 0 = no trace; else progress snapshots
+
+	// InvariantStride, when positive, audits the simulator's internal
+	// invariants (internal/invariant) every that many cycles during Run.
+	// 0 disables auditing. The stride is part of the canonical
+	// configuration: audited and unaudited runs cache separately even
+	// though a clean audited run produces identical statistics.
+	InvariantStride int64
+
+	// ProgressWindow overrides the watchdog horizon: a run aborts when no
+	// SM issues an instruction for this many consecutive cycles. 0 uses
+	// the built-in default (500k cycles).
+	ProgressWindow int64
 }
 
 // Default returns the Table I baseline configuration.
@@ -323,9 +335,30 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("CTALaunchLat must be non-negative, got %d", c.CTALaunchLat)
 	case c.DRAMBanksPerPartition <= 0 || c.DRAMRowBytes <= 0 || c.DRAMDataLat <= 0:
 		return fmt.Errorf("DRAM geometry must be positive")
+	case c.L1HitLat < 0 || c.L2HitLat < 0:
+		return fmt.Errorf("cache hit latencies must be non-negative")
+	case c.MaxCycles < 0:
+		return fmt.Errorf("MaxCycles must be non-negative, got %d", c.MaxCycles)
+	case c.TraceInterval < 0:
+		return fmt.Errorf("TraceInterval must be non-negative, got %d", c.TraceInterval)
+	case c.InvariantStride < 0:
+		return fmt.Errorf("InvariantStride must be non-negative, got %d", c.InvariantStride)
+	case c.ProgressWindow < 0:
+		return fmt.Errorf("ProgressWindow must be non-negative, got %d", c.ProgressWindow)
+	case c.Sched > SchedOWF:
+		return fmt.Errorf("unknown scheduling policy %d", c.Sched)
+	case c.Sharing > ShareScratchpad:
+		return fmt.Errorf("unknown sharing mode %d", c.Sharing)
+	case c.L1Policy > PolicyRand:
+		return fmt.Errorf("unknown L1 cache policy %d", c.L1Policy)
+	}
+	if c.Sched == SchedTwoLevel && c.TwoLevelGroup <= 0 {
+		return fmt.Errorf("TwoLevelGroup must be positive for the two-level scheduler, got %d", c.TwoLevelGroup)
 	}
 	if c.Sharing != ShareNone {
-		if c.T <= 0 || c.T > 1 {
+		// NaN fails every comparison, so check the valid range directly:
+		// only values genuinely inside (0,1] pass.
+		if !(c.T > 0 && c.T <= 1) {
 			return fmt.Errorf("sharing threshold t must be in (0,1], got %g", c.T)
 		}
 	}
@@ -333,7 +366,7 @@ func (c *Config) Validate() error {
 		if c.DynPeriod <= 0 {
 			return fmt.Errorf("DynPeriod must be positive, got %d", c.DynPeriod)
 		}
-		if c.DynStep <= 0 || c.DynStep > 1 {
+		if !(c.DynStep > 0 && c.DynStep <= 1) {
 			return fmt.Errorf("DynStep must be in (0,1], got %g", c.DynStep)
 		}
 	}

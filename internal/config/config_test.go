@@ -1,6 +1,10 @@
 package config
 
-import "testing"
+import (
+	"math"
+	"strings"
+	"testing"
+)
 
 // TestDefaultMatchesTableI pins the Table I architecture parameters.
 func TestDefaultMatchesTableI(t *testing.T) {
@@ -62,6 +66,60 @@ func TestValidateRejects(t *testing.T) {
 		if err := c.Validate(); err == nil {
 			t.Errorf("%s: validation passed", name)
 		}
+	}
+}
+
+// TestValidateHardening covers the adversarial corners: NaN thresholds,
+// out-of-range enums, negative watchdog/audit knobs, and absurd cache
+// geometry. Each rejection must name the offending field so an error
+// surfaced through gsim/gexp is actionable.
+func TestValidateHardening(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantMsg string
+	}{
+		{"NaN t", func(c *Config) { c.Sharing = ShareRegisters; c.T = math.NaN() }, "threshold t"},
+		{"negative t", func(c *Config) { c.Sharing = ShareRegisters; c.T = -0.5 }, "threshold t"},
+		{"inf t", func(c *Config) { c.Sharing = ShareScratchpad; c.T = math.Inf(1) }, "threshold t"},
+		{"NaN t ignored without sharing", func(c *Config) { c.T = math.NaN() }, ""},
+		{"NaN dyn step", func(c *Config) { c.DynWarp = true; c.DynStep = math.NaN() }, "DynStep"},
+		{"sched out of range", func(c *Config) { c.Sched = SchedOWF + 1 }, "scheduling policy"},
+		{"sharing out of range", func(c *Config) { c.Sharing = ShareScratchpad + 3 }, "sharing mode"},
+		{"l1 policy out of range", func(c *Config) { c.L1Policy = PolicyRand + 1 }, "cache policy"},
+		{"two-level without group", func(c *Config) { c.Sched = SchedTwoLevel; c.TwoLevelGroup = 0 }, "TwoLevelGroup"},
+		{"two-level group irrelevant for LRR", func(c *Config) { c.TwoLevelGroup = 0 }, ""},
+		{"negative max cycles", func(c *Config) { c.MaxCycles = -1 }, "MaxCycles"},
+		{"negative trace interval", func(c *Config) { c.TraceInterval = -5 }, "TraceInterval"},
+		{"negative invariant stride", func(c *Config) { c.InvariantStride = -64 }, "InvariantStride"},
+		{"negative progress window", func(c *Config) { c.ProgressWindow = -1 }, "ProgressWindow"},
+		{"negative L1 hit latency", func(c *Config) { c.L1HitLat = -1 }, "hit latencies"},
+		{"negative L2 hit latency", func(c *Config) { c.L2HitLat = -1 }, "hit latencies"},
+		{"line size zero", func(c *Config) { c.L1LineSz = 0 }, "L1LineSz"},
+		{"line size negative", func(c *Config) { c.L1LineSz = -128 }, "L1LineSz"},
+		{"negative L2 sets", func(c *Config) { c.L2Sets = -4 }, "L2 geometry"},
+		{"zero DRAM row", func(c *Config) { c.DRAMRowBytes = 0 }, "DRAM geometry"},
+		{"zero DRAM data latency", func(c *Config) { c.DRAMDataLat = 0 }, "DRAM geometry"},
+		{"audit knobs accepted", func(c *Config) { c.InvariantStride = 1024; c.ProgressWindow = 100_000 }, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := Default()
+			tc.mutate(&c)
+			err := c.Validate()
+			if tc.wantMsg == "" {
+				if err != nil {
+					t.Fatalf("unexpected rejection: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatal("validation passed")
+			}
+			if !strings.Contains(err.Error(), tc.wantMsg) {
+				t.Fatalf("error %q does not name the field (want %q)", err, tc.wantMsg)
+			}
+		})
 	}
 }
 

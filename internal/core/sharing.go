@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gpushare/internal/config"
+	"gpushare/internal/fault"
 	"gpushare/internal/isa"
 	"gpushare/internal/kernel"
 )
@@ -69,6 +70,11 @@ type Manager struct {
 	pairs      []*Pair
 	pairOfSlot []int  // block slot -> pair index or -1
 	sideOfSlot []int8 // block slot -> 0/1 within its pair
+
+	// Faults, when non-nil, is the fault-injection plan for the
+	// invariant-checker tests; ReleaseReg offers it the
+	// CorruptLeaseRelease opportunity.
+	Faults *fault.Plan
 
 	// Statistics.
 	LockAcquires   int64
@@ -238,8 +244,97 @@ func (m *Manager) ReleaseReg(slot, warpInCta int) {
 	side := m.sideOfSlot[slot]
 	if p.warpLocks[warpInCta] == side {
 		p.warpLocks[warpInCta] = noSide
+		if m.Faults.Trip(fault.CorruptLeaseRelease, -1, -1, warpInCta,
+			fmt.Sprintf("released warp lock %d of slot %d without decrementing the active-lock count", warpInCta, slot)) {
+			return // injected accounting corruption: lost decrement
+		}
 		p.activeLocks[side]--
 	}
+}
+
+// WouldBlockReg reports, without mutating any lock state, whether a
+// TryAcquireReg for this warp would fail right now. Used by the
+// forensic stall classifier, which must not perturb the simulation.
+func (m *Manager) WouldBlockReg(slot, warpInCta int) bool {
+	if !m.Shared(slot) {
+		return false
+	}
+	p := m.pairs[m.pairOfSlot[slot]]
+	side := m.sideOfSlot[slot]
+	switch p.warpLocks[warpInCta] {
+	case side:
+		return false
+	case 1 - side:
+		return true
+	}
+	return p.activeLocks[1-side] > 0
+}
+
+// WouldBlockSmem reports, without mutating any lock state, whether a
+// TryAcquireSmem for this slot would fail right now.
+func (m *Manager) WouldBlockSmem(slot int) bool {
+	if !m.Shared(slot) {
+		return false
+	}
+	p := m.pairs[m.pairOfSlot[slot]]
+	return p.smemLock == 1-m.sideOfSlot[slot]
+}
+
+// Audit verifies the lease-accounting invariants of every pair:
+// active-lock counters match the warp locks actually held (no double
+// or lost release), locks and ownership are only held by sides whose
+// slot runs a live block, and the Fig. 5 deadlock-avoidance rule holds
+// (never both sides with active locks). blockLive reports whether a
+// block slot currently runs a live block.
+func (m *Manager) Audit(blockLive func(slot int) bool) error {
+	if m == nil {
+		return nil
+	}
+	for pi, p := range m.pairs {
+		var counts [2]int
+		for wi, h := range p.warpLocks {
+			switch h {
+			case noSide:
+			case 0, 1:
+				counts[h]++
+				if !blockLive(p.Slots[h]) {
+					return fmt.Errorf("pair %d: warp lock %d held by side %d whose slot %d has no live block",
+						pi, wi, h, p.Slots[h])
+				}
+			default:
+				return fmt.Errorf("pair %d: warp lock %d has invalid holder %d", pi, wi, h)
+			}
+		}
+		if counts != p.activeLocks {
+			return fmt.Errorf("pair %d: active-lock counters %v disagree with held warp locks %v (lost or double release)",
+				pi, p.activeLocks, counts)
+		}
+		if p.activeLocks[0] > 0 && p.activeLocks[1] > 0 {
+			return fmt.Errorf("pair %d: both sides hold active locks %v, violating the Fig. 5 deadlock-avoidance rule",
+				pi, p.activeLocks)
+		}
+		switch p.smemLock {
+		case noSide:
+		case 0, 1:
+			if !blockLive(p.Slots[p.smemLock]) {
+				return fmt.Errorf("pair %d: scratchpad lock held by side %d whose slot %d has no live block",
+					pi, p.smemLock, p.Slots[p.smemLock])
+			}
+		default:
+			return fmt.Errorf("pair %d: scratchpad lock has invalid holder %d", pi, p.smemLock)
+		}
+		switch p.Owner {
+		case noSide:
+		case 0, 1:
+			if !blockLive(p.Slots[p.Owner]) {
+				return fmt.Errorf("pair %d: ownership held by side %d whose slot %d has no live block (missed ownership transfer)",
+					pi, p.Owner, p.Slots[p.Owner])
+			}
+		default:
+			return fmt.Errorf("pair %d: invalid owner %d", pi, p.Owner)
+		}
+	}
+	return nil
 }
 
 // BlockFinished handles a block's completion in its slot: all its locks

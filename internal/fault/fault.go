@@ -1,0 +1,100 @@
+// Package fault provides deterministic fault injection for the
+// simulator's invariant-checker tests. A Plan arms exactly one fault of
+// one kind; the hardware models call Trip at each opportunity (every
+// memory reply, every lease release, every barrier arrival) and the
+// plan fires on the Nth one, recording where it struck. Because the
+// simulator itself is deterministic, the same plan against the same
+// workload always corrupts the same event, so tests can assert the
+// precise detector that catches it.
+//
+// The package is a leaf (standard library only) so smcore, core, and
+// mem can consult a plan without import cycles.
+package fault
+
+import "fmt"
+
+// Kind selects what to corrupt.
+type Kind uint8
+
+// Fault kinds.
+const (
+	None                Kind = iota
+	DropMemReply             // discard a memory reply at SM ejection: the load never completes
+	CorruptLeaseRelease      // release a shared-register lease without fixing the active-lock count
+	SkipBarrierArrival       // a warp parks at a barrier without being counted as arrived
+)
+
+func (k Kind) String() string {
+	switch k {
+	case DropMemReply:
+		return "drop-mem-reply"
+	case CorruptLeaseRelease:
+		return "corrupt-lease-release"
+	case SkipBarrierArrival:
+		return "skip-barrier-arrival"
+	}
+	return "none"
+}
+
+// Plan arms one fault. The zero value (Kind None) never fires. Nth is
+// the 1-based opportunity index to corrupt; 0 behaves as 1.
+type Plan struct {
+	Kind Kind
+	Nth  int
+
+	// Injection record, filled when the fault fires.
+	Injected bool
+	Cycle    int64
+	SM       int
+	Warp     int
+	Detail   string
+
+	seen int
+}
+
+// NewPlan derives a plan deterministically from a seed: the fault fires
+// on opportunity 1 + seed mod spread. The same (kind, seed, workload)
+// triple always corrupts the same event.
+func NewPlan(kind Kind, seed uint64, spread int) *Plan {
+	if spread <= 0 {
+		spread = 1
+	}
+	// splitmix64 finalizer decorrelates adjacent seeds.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return &Plan{Kind: kind, Nth: 1 + int(z%uint64(spread))}
+}
+
+// Trip reports whether the fault fires at this opportunity. kind names
+// the opportunity the caller is offering; non-matching kinds never
+// fire. A nil plan never fires.
+func (p *Plan) Trip(kind Kind, cycle int64, sm, warp int, detail string) bool {
+	if p == nil || p.Kind != kind || p.Injected {
+		return false
+	}
+	p.seen++
+	nth := p.Nth
+	if nth <= 0 {
+		nth = 1
+	}
+	if p.seen < nth {
+		return false
+	}
+	p.Injected = true
+	p.Cycle, p.SM, p.Warp, p.Detail = cycle, sm, warp, detail
+	return true
+}
+
+// String describes the plan and, once fired, the injection record.
+func (p *Plan) String() string {
+	if p == nil || p.Kind == None {
+		return "no fault"
+	}
+	s := fmt.Sprintf("%s on opportunity %d", p.Kind, p.Nth)
+	if p.Injected {
+		s += fmt.Sprintf(" (injected at cycle %d, SM %d, warp %d: %s)", p.Cycle, p.SM, p.Warp, p.Detail)
+	}
+	return s
+}

@@ -67,7 +67,10 @@ func refExecute(t *testing.T, k *kernel.Kernel, grid int, params []uint32, gm *r
 					continue
 				}
 				pc, _, _ := w.PC()
-				res := w.Execute(&k.Instrs[pc], &env)
+				res, err := w.Execute(&k.Instrs[pc], &env)
+				if err != nil {
+					t.Fatalf("reference executor: %v", err)
+				}
 				if res.Kind == warp.ResBarrier && !res.Finished {
 					atBarrier[i] = true
 				}

@@ -8,12 +8,17 @@ package gpu
 import (
 	"fmt"
 	"io"
+	"os"
+	"strconv"
 
 	"gpushare/internal/config"
 	"gpushare/internal/core"
+	"gpushare/internal/fault"
+	"gpushare/internal/invariant"
 	"gpushare/internal/kernel"
 	"gpushare/internal/mem"
 	"gpushare/internal/opt/unroll"
+	"gpushare/internal/simerr"
 	"gpushare/internal/smcore"
 	"gpushare/internal/stats"
 )
@@ -44,13 +49,37 @@ type Sim struct {
 	// progress snapshot every TraceInterval cycles during Run.
 	Trace io.Writer
 
+	// Faults, when non-nil, arms a deterministic fault-injection plan on
+	// every SM (invariant-checker tests only): the plan corrupts one
+	// internal bookkeeping event mid-run so the test can assert the
+	// auditor or watchdog catches it.
+	Faults *fault.Plan
+
 	ms *mem.System
+}
+
+// envInvariantStride reads GPUSHARE_INVARIANT_STRIDE: a positive
+// integer turns invariant auditing on for every run whose configuration
+// leaves InvariantStride at 0 (used by tools/check.sh to run the whole
+// tier-1 suite audited without touching test code). Read per Run, not
+// once, so tests that genuinely need auditing off can pin it to 0 with
+// t.Setenv.
+func envInvariantStride() int64 {
+	v := os.Getenv("GPUSHARE_INVARIANT_STRIDE")
+	if v == "" {
+		return 0
+	}
+	n, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || n < 0 {
+		return 0
+	}
+	return n
 }
 
 // New builds a simulator for the configuration.
 func New(cfg config.Config) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
-		return nil, err
+		return nil, simerr.Wrap(simerr.KindConfig, -1, err)
 	}
 	ms := mem.NewSystem(&cfg)
 	return &Sim{Cfg: cfg, Mem: ms.Global, ms: ms}, nil
@@ -76,7 +105,7 @@ func (s *Sim) Occupancy(k *kernel.Kernel) core.Occupancy {
 // persist across launches (call FlushCaches for cold-cache runs).
 func (s *Sim) Run(l *kernel.Launch) (*stats.GPU, error) {
 	if err := l.Validate(); err != nil {
-		return nil, err
+		return nil, simerr.Wrap(simerr.KindLaunch, -1, err)
 	}
 	launch := *l
 	if s.Cfg.UnrollRegs {
@@ -85,13 +114,27 @@ func (s *Sim) Run(l *kernel.Launch) (*stats.GPU, error) {
 	}
 	occ := core.ComputeOccupancy(&s.Cfg, launch.Kernel)
 	if occ.Baseline == 0 {
-		return nil, fmt.Errorf("kernel %s does not fit on an SM (%s)", launch.Kernel.Name, occ.Limiter)
+		return nil, simerr.New(simerr.KindUnschedulable, -1,
+			"kernel %s does not fit on an SM (%s)", launch.Kernel.Name, occ.Limiter)
 	}
 
 	sms := make([]*smcore.SM, s.Cfg.NumSMs)
 	for i := range sms {
-		sms[i] = smcore.New(i, &s.Cfg, &launch, occ, s.ms)
+		sm, err := smcore.New(i, &s.Cfg, &launch, occ, s.ms)
+		if err != nil {
+			return nil, simerr.Wrap(simerr.KindLaunch, -1, err)
+		}
+		if s.Faults != nil {
+			sm.SetFaults(s.Faults)
+		}
+		sms[i] = sm
 	}
+
+	stride := s.Cfg.InvariantStride
+	if stride <= 0 {
+		stride = envInvariantStride()
+	}
+	chk := invariant.New(stride, invariant.ClassAll, sms, s.ms)
 
 	// Initial fill, slot-major across SMs so blocks spread evenly, as
 	// GPGPU-Sim's breadth-first CTA dispatcher does. Blocks are numbered
@@ -103,7 +146,9 @@ func (s *Sim) Run(l *kernel.Launch) (*stats.GPU, error) {
 			if nextCTA >= totalBlocks {
 				break
 			}
-			sm.LaunchBlock(slot, nextCTA)
+			if err := sm.LaunchBlock(slot, nextCTA); err != nil {
+				return nil, simerr.Wrap(simerr.KindInvariant, -1, err)
+			}
 			nextCTA++
 		}
 	}
@@ -111,6 +156,10 @@ func (s *Sim) Run(l *kernel.Launch) (*stats.GPU, error) {
 	maxCycles := s.Cfg.MaxCycles
 	if maxCycles <= 0 {
 		maxCycles = defaultMaxCycles
+	}
+	window := s.Cfg.ProgressWindow
+	if window <= 0 {
+		window = progressWindow
 	}
 
 	dyn := newDynController(&s.Cfg, sms)
@@ -121,19 +170,34 @@ func (s *Sim) Run(l *kernel.Launch) (*stats.GPU, error) {
 	var now int64
 	for now = 0; ; now++ {
 		if now >= maxCycles {
-			return nil, fmt.Errorf("kernel %s exceeded %d cycles", launch.Kernel.Name, maxCycles)
+			return nil, s.hangError(simerr.KindMaxCycles, now, sms,
+				fmt.Sprintf("kernel %s exceeded %d cycles", launch.Kernel.Name, maxCycles))
 		}
 		for _, sm := range sms {
-			sm.Tick(now)
+			if err := sm.Tick(now); err != nil {
+				if se, ok := simerr.As(err); ok && se.Dump == nil {
+					se.Dump = invariant.BuildDump(now, sms, s.ms)
+				}
+				return nil, err
+			}
 		}
 		s.ms.Tick(now)
+
+		if err := chk.Check(now); err != nil {
+			return nil, err
+		}
 
 		// Refill completed block slots after the CTA dispatch latency.
 		for len(pending) > 0 && pending[0].at <= now {
 			p := pending[0]
 			pending = pending[1:]
 			if nextCTA < totalBlocks {
-				sms[p.sm].LaunchBlock(p.slot, nextCTA)
+				if err := sms[p.sm].LaunchBlock(p.slot, nextCTA); err != nil {
+					se := simerr.Wrap(simerr.KindInvariant, now, err)
+					se.SM = p.sm
+					se.Dump = invariant.BuildDump(now, sms, s.ms)
+					return nil, se
+				}
 				nextCTA++
 			}
 		}
@@ -173,9 +237,10 @@ func (s *Sim) Run(l *kernel.Launch) (*stats.GPU, error) {
 		if issued != lastIssued {
 			lastIssued = issued
 			lastProgress = now
-		} else if now-lastProgress > progressWindow {
-			return nil, fmt.Errorf("kernel %s: no instruction issued for %d cycles (deadlock?) at cycle %d",
-				launch.Kernel.Name, progressWindow, now)
+		} else if now-lastProgress > window {
+			return nil, s.hangError(simerr.KindWatchdog, now, sms,
+				fmt.Sprintf("kernel %s: no instruction issued for %d cycles (deadlock?)",
+					launch.Kernel.Name, window))
 		}
 	}
 
@@ -191,6 +256,23 @@ func (s *Sim) Run(l *kernel.Launch) (*stats.GPU, error) {
 
 // FlushCaches invalidates the persistent L2 partitions.
 func (s *Sim) FlushCaches() { s.ms.FlushCaches() }
+
+// hangError builds the typed error for a watchdog or MaxCycles abort:
+// a forensic dump of every SM plus, when one can be identified, the
+// first stuck warp and its stall reason appended to the message.
+func (s *Sim) hangError(kind simerr.Kind, now int64, sms []*smcore.SM, msg string) *simerr.SimError {
+	dump := invariant.BuildDump(now, sms, s.ms)
+	se := &simerr.SimError{Kind: kind, Cycle: now, SM: -1, Warp: -1, Msg: msg, Dump: dump}
+	if smID, w, ok := dump.StuckWarp(); ok {
+		se.SM, se.Warp = smID, w.Slot
+		stall := w.Stall
+		if stall == "" {
+			stall = "no stall recorded"
+		}
+		se.Msg += fmt.Sprintf("; first stuck warp: SM%d warp %d at pc %d, %s", smID, w.Slot, w.PC, stall)
+	}
+	return se
+}
 
 // traceSnapshot writes one progress line: cycle, dispatched blocks, and
 // aggregate issue/stall/idle counts.

@@ -210,12 +210,26 @@ type Session struct {
 	// CacheDir enables the runner's on-disk result cache, reused across
 	// processes ("" disables it).
 	CacheDir string
+	// InvariantStride, when positive, runs every simulation with the
+	// cycle-level invariant auditor enabled at that stride. Audited and
+	// unaudited runs cache under different keys (the stride is part of
+	// the canonical configuration).
+	InvariantStride int64
+	// SoftFail renders a failed simulation as a zero-filled table cell
+	// with its diagnosis collected into the table notes, instead of
+	// aborting the whole experiment. One diverging cell cannot kill a
+	// sweep.
+	SoftFail bool
 
 	mu sync.Mutex
 	r  *runner.Runner
 	// record, when non-nil, captures jobs instead of executing them
 	// (the planning pass of Precompute).
 	record func(runner.Job)
+
+	failMu   sync.Mutex
+	failSeen map[string]bool
+	failures []string
 }
 
 // NewSession returns a session at the given scale.
@@ -255,6 +269,9 @@ func (s *Session) Run(spec *workloads.Spec, name ConfigName, t float64) (*stats.
 // Precompute planning pass it records the job descriptor and returns
 // placeholder statistics instead.
 func (s *Session) exec(spec *workloads.Spec, label string, cfg config.Config) (*stats.GPU, error) {
+	if s.InvariantStride > 0 {
+		cfg.InvariantStride = s.InvariantStride
+	}
 	job := runner.Job{Workload: spec.Name, Config: cfg, Scale: s.Scale}
 	if s.record != nil {
 		s.record(job)
@@ -262,6 +279,10 @@ func (s *Session) exec(spec *workloads.Spec, label string, cfg config.Config) (*
 	}
 	res := s.runner().Do(job)
 	if res.Err != nil {
+		if s.SoftFail {
+			s.noteFailure(spec.Name, label, res.Err)
+			return &stats.GPU{}, nil
+		}
 		return nil, fmt.Errorf("%s under %s: %w", spec.Name, label, res.Err)
 	}
 	if s.Progress != nil && res.Tier == runner.Simulated {
@@ -282,7 +303,8 @@ func (s *Session) Precompute(ids ...string) error {
 		seen = map[string]bool{}
 	)
 	plan := &Session{
-		Scale: s.Scale,
+		Scale:           s.Scale,
+		InvariantStride: s.InvariantStride,
 		record: func(j runner.Job) {
 			key, err := j.Key()
 			if err != nil || seen[key] {
@@ -308,14 +330,56 @@ func (s *Session) Precompute(ids ...string) error {
 	return nil
 }
 
+// noteFailure records one failed simulation for the current experiment's
+// table notes (SoftFail mode), deduplicating repeated requests for the
+// same cell. Typed SimErrors contribute their single-line diagnosis
+// header (kind, cycle, stuck warp, stall reason).
+func (s *Session) noteFailure(workload, label string, err error) {
+	note := fmt.Sprintf("%s under %s: %v", workload, label, err)
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	if s.failSeen == nil {
+		s.failSeen = make(map[string]bool)
+	}
+	key := workload + "|" + label
+	if s.failSeen[key] {
+		return
+	}
+	s.failSeen[key] = true
+	s.failures = append(s.failures, note)
+}
+
+// takeFailures drains the failure notes collected since the last call.
+func (s *Session) takeFailures() []string {
+	s.failMu.Lock()
+	defer s.failMu.Unlock()
+	f := s.failures
+	s.failures = nil
+	s.failSeen = nil
+	return f
+}
+
 // Experiment runs the experiment with the given id ("fig8c", "table5",
-// "hw", ...).
+// "hw", ...). In SoftFail mode, cells whose simulation failed are zero
+// and the diagnoses are appended to the table notes.
 func (s *Session) Experiment(id string) (*Table, error) {
 	fn, ok := experiments[id]
 	if !ok {
 		return nil, fmt.Errorf("unknown experiment %q (known: %s)", id, strings.Join(IDs(), ", "))
 	}
-	return fn(s)
+	s.takeFailures() // discard leftovers from a previous experiment
+	tbl, err := fn(s)
+	if err != nil || tbl == nil {
+		return tbl, err
+	}
+	if notes := s.takeFailures(); len(notes) > 0 {
+		msg := fmt.Sprintf("%d failed cell(s) zeroed: %s", len(notes), strings.Join(notes, " | "))
+		if tbl.Notes != "" {
+			tbl.Notes += "; "
+		}
+		tbl.Notes += msg
+	}
+	return tbl, nil
 }
 
 var experiments = map[string]func(*Session) (*Table, error){}

@@ -1,0 +1,77 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+
+	"gpushare/internal/config"
+	"gpushare/internal/runner"
+	"gpushare/internal/workloads"
+)
+
+// TestSoftFailZeroesAndNotes: a failing simulation under SoftFail
+// returns placeholder statistics instead of an error, records one
+// deduplicated diagnosis note, and takeFailures drains the notes.
+func TestSoftFailZeroesAndNotes(t *testing.T) {
+	spec, err := workloads.ByName("hotspot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bad := config.Default()
+	bad.NumSMs = 0 // rejected by gpu.New before any simulation work
+
+	s := NewSession(1)
+	s.SoftFail = true
+	for i := 0; i < 3; i++ { // repeats must dedup to one note
+		st, err := s.exec(spec, "broken-config", bad)
+		if err != nil {
+			t.Fatalf("soft-fail surfaced an error: %v", err)
+		}
+		if st == nil || st.Cycles != 0 {
+			t.Fatalf("soft-fail did not return zeroed stats: %+v", st)
+		}
+	}
+	notes := s.takeFailures()
+	if len(notes) != 1 {
+		t.Fatalf("got %d failure notes, want 1 (deduplicated): %q", len(notes), notes)
+	}
+	if !strings.Contains(notes[0], "hotspot") || !strings.Contains(notes[0], "NumSMs") {
+		t.Errorf("note does not carry the diagnosis: %q", notes[0])
+	}
+	if again := s.takeFailures(); len(again) != 0 {
+		t.Errorf("takeFailures did not drain: %q", again)
+	}
+
+	// Without SoftFail the same request must fail loudly.
+	strict := NewSession(1)
+	if _, err := strict.exec(spec, "broken-config", bad); err == nil {
+		t.Fatal("strict session swallowed the failure")
+	}
+}
+
+// TestSessionInvariantStridePropagates: the session-level stride
+// reaches every job configuration (and therefore the cache key),
+// uniformly overriding per-config values so one sweep audits at one
+// rate.
+func TestSessionInvariantStridePropagates(t *testing.T) {
+	spec, err := workloads.ByName("hotspot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	s := NewSession(1)
+	s.InvariantStride = 512
+	s.record = func(j runner.Job) { got = append(got, j.Config.InvariantStride) }
+
+	if _, err := s.exec(spec, "plain", config.Default()); err != nil {
+		t.Fatal(err)
+	}
+	explicit := config.Default()
+	explicit.InvariantStride = 64
+	if _, err := s.exec(spec, "explicit", explicit); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != 512 || got[1] != 512 {
+		t.Fatalf("recorded strides %v, want [512 512]", got)
+	}
+}

@@ -1,0 +1,72 @@
+package isa
+
+import "testing"
+
+// FuzzEval exercises the scalar evaluator over the full opcode byte
+// space, defined opcodes or not: it must never panic, must be
+// deterministic, must return 0 for anything it does not implement, and
+// simple algebraic identities must hold for the ops that have them.
+func FuzzEval(f *testing.F) {
+	f.Add(uint8(IADD), uint32(1), uint32(2), uint32(3))
+	f.Add(uint8(IMAD), uint32(0x80000000), uint32(0xffffffff), uint32(7))
+	f.Add(uint8(SHL), uint32(1), uint32(300), uint32(0))
+	f.Add(uint8(FSQRT), f32bits(2), uint32(0), uint32(0))
+	f.Add(uint8(FRCP), uint32(0), uint32(0), uint32(0))    // 1/0
+	f.Add(uint8(FLOG), f32bits(-1), uint32(0), uint32(0))  // NaN
+	f.Add(uint8(F2I), f32bits(3e18), uint32(0), uint32(0)) // overflow
+	f.Add(uint8(SELP), uint32(7), uint32(9), uint32(1))
+	f.Add(uint8(numOpcodes), uint32(0xffffffff), uint32(0), uint32(0))
+	f.Add(uint8(255), uint32(1), uint32(2), uint32(3))
+	f.Fuzz(func(t *testing.T, opb uint8, a, b, c uint32) {
+		op := Opcode(opb)
+		got := Eval(op, a, b, c)
+		if again := Eval(op, a, b, c); again != got {
+			t.Fatalf("%s(%#x,%#x,%#x) is non-deterministic: %#x then %#x", op, a, b, c, got, again)
+		}
+		switch op {
+		case MOV:
+			if got != a {
+				t.Fatalf("mov %#x = %#x", a, got)
+			}
+		case IADD:
+			if got-b != a {
+				t.Fatalf("iadd %#x+%#x = %#x does not invert", a, b, got)
+			}
+		case XOR:
+			if got^b != a {
+				t.Fatalf("xor %#x^%#x = %#x does not invert", a, b, got)
+			}
+		case SETP, LDG, STG, LDS, STS, LDP, BRA, BAR, EXIT:
+			// Not Eval's job: the warp executor handles these. Eval must
+			// still be total over them.
+			if got != 0 {
+				t.Fatalf("%s is not an ALU op but Eval returned %#x", op, got)
+			}
+		default:
+			if !op.Valid() && got != 0 {
+				t.Fatalf("invalid opcode %d returned %#x, want 0", opb, got)
+			}
+		}
+
+		// The comparator must be total over the CmpOp byte space too,
+		// and the signed orderings must complement each other exactly
+		// (the float ones need not: NaN fails both CmpFLT and CmpFGE).
+		cmp := CmpOp(opb)
+		v := EvalCmp(cmp, a, b)
+		if again := EvalCmp(cmp, a, b); again != v {
+			t.Fatalf("EvalCmp(%s) is non-deterministic", cmp)
+		}
+		if !cmp.Valid() && v {
+			t.Fatalf("invalid comparison %d returned true", opb)
+		}
+		if EvalCmp(CmpLT, a, b) == EvalCmp(CmpGE, a, b) {
+			t.Fatalf("lt and ge agree on (%#x, %#x)", a, b)
+		}
+		if EvalCmp(CmpLTU, a, b) == EvalCmp(CmpGEU, a, b) {
+			t.Fatalf("ltu and geu agree on (%#x, %#x)", a, b)
+		}
+		if EvalCmp(CmpEQ, a, b) == EvalCmp(CmpNE, a, b) {
+			t.Fatalf("eq and ne agree on (%#x, %#x)", a, b)
+		}
+	})
+}

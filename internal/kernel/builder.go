@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"gpushare/internal/isa"
+	"gpushare/internal/simerr"
 )
 
 // Builder assembles a kernel programmatically. It supports forward label
@@ -281,11 +282,14 @@ func (b *Builder) Build() (*Kernel, error) {
 }
 
 // MustBuild is Build that panics on error; for statically-known-good
-// kernels such as the workload proxies.
+// kernels such as the workload proxies. The panic value is a typed
+// *simerr.SimError so the runner's panic capture recognizes it as a
+// deterministic launch failure and does not retry the job.
 func (b *Builder) MustBuild() *Kernel {
 	k, err := b.Build()
 	if err != nil {
-		panic(err)
+		panic(simerr.Wrap(simerr.KindLaunch, -1,
+			fmt.Errorf("building kernel %s: %w", b.k.Name, err)))
 	}
 	return k
 }

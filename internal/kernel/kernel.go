@@ -85,6 +85,12 @@ func (k *Kernel) Validate() error {
 	if k.BlockDimY < 0 {
 		return fmt.Errorf("kernel %s: BlockDimY must be non-negative, got %d", k.Name, k.BlockDimY)
 	}
+	if k.SmemPerBlock < 0 {
+		return fmt.Errorf("kernel %s: SmemPerBlock must be non-negative, got %d", k.Name, k.SmemPerBlock)
+	}
+	if k.NumParams < 0 {
+		return fmt.Errorf("kernel %s: NumParams must be non-negative, got %d", k.Name, k.NumParams)
+	}
 	if len(k.Instrs) == 0 {
 		return fmt.Errorf("kernel %s: empty instruction stream", k.Name)
 	}

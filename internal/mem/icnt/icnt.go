@@ -41,6 +41,16 @@ func (n *Network) Pop(dst int, now int64) any {
 	return p
 }
 
+// ForEach calls f for every undelivered packet payload, oldest first
+// within each port. Read-only; used by the invariant auditor.
+func (n *Network) ForEach(f func(payload any)) {
+	for _, q := range n.ports {
+		for i := range q {
+			f(q[i].Payload)
+		}
+	}
+}
+
 // Pending returns the number of undelivered packets across all ports.
 func (n *Network) Pending() int {
 	total := 0

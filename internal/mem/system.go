@@ -148,6 +148,44 @@ func (s *System) Drained() bool {
 	return true
 }
 
+// ForEachInFlightRead calls f for every read request currently inside
+// the memory system: the request network, partition MSHR waiters
+// (merged requests included), pending L2 hits, and the reply network.
+// A read queued in DRAM is represented by its partition-MSHR entry, so
+// every in-flight read appears exactly once. Read-only; the invariant
+// auditor cross-checks this set against the SMs' L1 MSHRs (request
+// conservation: nothing injected is ever lost).
+func (s *System) ForEachInFlightRead(f func(req *LineRequest)) {
+	emit := func(p any) {
+		if req, ok := p.(*LineRequest); ok && !req.IsWrite {
+			f(req)
+		}
+	}
+	s.toMem.ForEach(emit)
+	s.toSM.ForEach(emit)
+	for _, p := range s.partitions {
+		for _, waiters := range p.mshr {
+			for _, w := range waiters {
+				f(w)
+			}
+		}
+		for _, d := range p.pending {
+			f(d.req)
+		}
+	}
+}
+
+// Depths reports the memory system's queue depths for forensic dumps.
+func (s *System) Depths() (toMem, toSM, l2MSHR, l2Pending, dramQueued int) {
+	toMem, toSM = s.toMem.Pending(), s.toSM.Pending()
+	for _, p := range s.partitions {
+		l2MSHR += len(p.mshr)
+		l2Pending += len(p.pending)
+		dramQueued += p.dram.Pending()
+	}
+	return
+}
+
 // CollectStats sums L2 and DRAM statistics into the aggregate.
 func (s *System) CollectStats(g *stats.GPU) {
 	for _, p := range s.partitions {

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"gpushare/internal/simerr"
 	"gpushare/internal/stats"
 )
 
@@ -276,6 +277,15 @@ func (r *Runner) attempt(j Job) (g *stats.GPU, err error, retryable bool) {
 	go func() {
 		defer func() {
 			if p := recover(); p != nil {
+				// A typed *simerr.SimError thrown through panic (e.g.
+				// kernel.MustBuild) is a deterministic simulator failure,
+				// not a transient crash: surface it as-is, no retry.
+				if perr, ok := p.(error); ok {
+					if se, ok := simerr.As(perr); ok {
+						ch <- outcome{err: se}
+						return
+					}
+				}
 				ch <- outcome{err: fmt.Errorf("simulation panicked: %v", p), panicked: true}
 			}
 		}()

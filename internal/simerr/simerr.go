@@ -1,0 +1,229 @@
+// Package simerr defines the simulator's structured error type and the
+// forensic snapshot attached to it. A SimError classifies what went
+// wrong (an invariant violation, a watchdog trip, a MaxCycles abort, a
+// kernel execution fault, ...) and pins it to a cycle, SM, and warp; the
+// optional Dump captures the microarchitectural state needed to explain
+// a hang or an accounting bug — per-warp PC, stall reason, barrier and
+// scoreboard state, SIMT depth, owner/non-owner role, the dynamic-
+// throttle probability, and memory queue depths.
+//
+// The package is a leaf (it imports only the standard library) so every
+// layer of the simulator — warp, core, smcore, mem, gpu, runner,
+// harness — can produce and inspect SimErrors without import cycles.
+package simerr
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a simulation failure.
+type Kind uint8
+
+// Failure kinds.
+const (
+	KindUnknown       Kind = iota
+	KindConfig             // invalid configuration
+	KindLaunch             // invalid kernel or launch descriptor
+	KindUnschedulable      // kernel does not fit on an SM
+	KindExec               // functional execution fault (bad kernel code)
+	KindInvariant          // a microarchitectural invariant was violated
+	KindWatchdog           // no instruction issued for the progress window
+	KindMaxCycles          // the MaxCycles safety valve fired
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindConfig:
+		return "config"
+	case KindLaunch:
+		return "launch"
+	case KindUnschedulable:
+		return "unschedulable"
+	case KindExec:
+		return "exec"
+	case KindInvariant:
+		return "invariant"
+	case KindWatchdog:
+		return "watchdog"
+	case KindMaxCycles:
+		return "max-cycles"
+	}
+	return "unknown"
+}
+
+// SimError is a structured simulation failure. SM and Warp are -1 when
+// the failure is not attributable to a specific one.
+type SimError struct {
+	Kind  Kind
+	Cycle int64
+	SM    int
+	Warp  int
+	Msg   string
+	Dump  *Dump // forensic snapshot; nil for pre-run failures
+	Err   error // underlying cause, if wrapped
+}
+
+// New returns a SimError with no SM/warp attribution.
+func New(kind Kind, cycle int64, format string, args ...any) *SimError {
+	return &SimError{Kind: kind, Cycle: cycle, SM: -1, Warp: -1, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Wrap returns a SimError wrapping err with no SM/warp attribution.
+func Wrap(kind Kind, cycle int64, err error) *SimError {
+	return &SimError{Kind: kind, Cycle: cycle, SM: -1, Warp: -1, Err: err}
+}
+
+// Error renders a single-line header: kind, location, message. The
+// forensic dump is rendered separately by Diagnosis.
+func (e *SimError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "sim error [%s]", e.Kind)
+	if e.Cycle >= 0 {
+		fmt.Fprintf(&b, " cycle=%d", e.Cycle)
+	}
+	if e.SM >= 0 {
+		fmt.Fprintf(&b, " SM=%d", e.SM)
+	}
+	if e.Warp >= 0 {
+		fmt.Fprintf(&b, " warp=%d", e.Warp)
+	}
+	if e.Msg != "" {
+		b.WriteString(": ")
+		b.WriteString(e.Msg)
+	}
+	if e.Err != nil {
+		b.WriteString(": ")
+		b.WriteString(e.Err.Error())
+	}
+	return b.String()
+}
+
+// Unwrap returns the wrapped cause.
+func (e *SimError) Unwrap() error { return e.Err }
+
+// Diagnosis renders the header plus the full forensic dump, when one
+// was captured.
+func (e *SimError) Diagnosis() string {
+	if e.Dump == nil {
+		return e.Error()
+	}
+	return e.Error() + "\n" + e.Dump.String()
+}
+
+// As extracts a *SimError from an error chain.
+func As(err error) (*SimError, bool) {
+	var se *SimError
+	if errors.As(err, &se) {
+		return se, true
+	}
+	return nil, false
+}
+
+// Dump is a forensic snapshot of the GPU at the moment of failure.
+type Dump struct {
+	Cycle int64
+	SMs   []SMDump
+	Mem   MemDump
+}
+
+// SMDump is one SM's state. Only live, unfinished warps are listed;
+// finished warps are summarized by count.
+type SMDump struct {
+	ID            int
+	ActiveBlocks  int
+	DynProb       float64 // dynamic warp execution issue probability
+	MSHRLines     int     // outstanding L1 miss lines
+	PendingWB     int     // scheduled writeback events
+	FinishedWarps int
+	Warps         []WarpDump
+}
+
+// WarpDump is one live warp's state.
+type WarpDump struct {
+	Slot      int // hardware warp slot within the SM
+	BlockSlot int
+	CTA       int
+	WarpInCta int
+	PC        int
+	Instr     string // disassembled instruction at PC
+	Category  string // owner / non-owner / unshared
+	SIMTDepth int
+	AtBarrier bool
+	// Arrived/ActiveWarps is the warp's block barrier state.
+	Arrived     int
+	ActiveWarps int
+	PendingRegs uint64 // scoreboard bits with outstanding writes
+	LoadRegs    uint64 // subset produced by in-flight global loads
+	Stall       string // why the warp could not issue this cycle
+}
+
+// MemDump is the memory system's queue depths.
+type MemDump struct {
+	ToMem      int // request-network packets in flight
+	ToSM       int // reply-network packets in flight
+	L2MSHR     int // partition MSHR entries (distinct miss lines)
+	L2Pending  int // L2 hits serving their latency
+	DRAMQueued int // DRAM requests queued + in flight
+}
+
+func (w *WarpDump) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "warp %2d (block slot %d, CTA %d, warp-in-cta %d, %s) pc=%d %s",
+		w.Slot, w.BlockSlot, w.CTA, w.WarpInCta, w.Category, w.PC, w.Instr)
+	fmt.Fprintf(&b, " | simt-depth=%d", w.SIMTDepth)
+	if w.AtBarrier {
+		fmt.Fprintf(&b, " | at barrier (%d/%d arrived)", w.Arrived, w.ActiveWarps)
+	}
+	if w.PendingRegs != 0 {
+		fmt.Fprintf(&b, " | pending-regs=%#x", w.PendingRegs)
+		if w.LoadRegs != 0 {
+			fmt.Fprintf(&b, " (loads=%#x)", w.LoadRegs)
+		}
+	}
+	if w.Stall != "" {
+		fmt.Fprintf(&b, " | stall: %s", w.Stall)
+	}
+	return b.String()
+}
+
+// String renders the full dump, one line per live warp.
+func (d *Dump) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "forensic dump at cycle %d\n", d.Cycle)
+	for i := range d.SMs {
+		s := &d.SMs[i]
+		if s.ActiveBlocks == 0 && len(s.Warps) == 0 && s.MSHRLines == 0 && s.PendingWB == 0 {
+			continue
+		}
+		fmt.Fprintf(&b, "  SM%d: %d active block(s), %d finished warp(s), dyn-prob=%.2f, L1-MSHR lines=%d, pending writebacks=%d\n",
+			s.ID, s.ActiveBlocks, s.FinishedWarps, s.DynProb, s.MSHRLines, s.PendingWB)
+		for j := range s.Warps {
+			fmt.Fprintf(&b, "    %s\n", s.Warps[j].String())
+		}
+	}
+	m := &d.Mem
+	fmt.Fprintf(&b, "  mem: req-net=%d reply-net=%d L2-MSHR=%d L2-pending=%d DRAM=%d",
+		m.ToMem, m.ToSM, m.L2MSHR, m.L2Pending, m.DRAMQueued)
+	return b.String()
+}
+
+// StuckWarp returns the first live warp that looks responsible for a
+// hang — preferring one with a recorded stall reason — so error headers
+// can name a culprit. ok is false when no live warp exists.
+func (d *Dump) StuckWarp() (sm int, w WarpDump, ok bool) {
+	for i := range d.SMs {
+		for _, wd := range d.SMs[i].Warps {
+			if wd.Stall != "" && wd.Stall != "ready" {
+				return d.SMs[i].ID, wd, true
+			}
+		}
+	}
+	for i := range d.SMs {
+		if len(d.SMs[i].Warps) > 0 {
+			return d.SMs[i].ID, d.SMs[i].Warps[0], true
+		}
+	}
+	return -1, WarpDump{}, false
+}

@@ -11,6 +11,7 @@ import (
 
 	"gpushare/internal/config"
 	"gpushare/internal/core"
+	"gpushare/internal/fault"
 	"gpushare/internal/kernel"
 	"gpushare/internal/mem"
 	"gpushare/internal/mem/cache"
@@ -85,6 +86,7 @@ type SM struct {
 	l1       *cache.Cache
 	mshr     map[uint32][]*loadGroup
 	memSys   *mem.System
+	faults   *fault.Plan
 	wbQueue  map[int64][]wbEvent
 	lsuBusy  int64 // LSU blocked until this cycle (bank conflicts)
 	sfuBusy  int64
@@ -110,11 +112,11 @@ type SM struct {
 
 // New builds an SM for a kernel launch. The sharing manager governs the
 // pair slots defined by the occupancy.
-func New(id int, cfg *config.Config, l *kernel.Launch, occ core.Occupancy, ms *mem.System) *SM {
+func New(id int, cfg *config.Config, l *kernel.Launch, occ core.Occupancy, ms *mem.System) (*SM, error) {
 	k := l.Kernel
 	if k.RegsPerThread > 64 {
-		panic(fmt.Sprintf("kernel %s: %d registers/thread exceeds the scoreboard's 64-register limit",
-			k.Name, k.RegsPerThread))
+		return nil, fmt.Errorf("kernel %s: %d registers/thread exceeds the scoreboard's 64-register limit",
+			k.Name, k.RegsPerThread)
 	}
 	wpb := k.WarpsPerBlock()
 	sm := &SM{
@@ -153,7 +155,14 @@ func New(id int, cfg *config.Config, l *kernel.Launch, occ core.Occupancy, ms *m
 		s := ws % cfg.NumSchedulers
 		sm.schedWarps[s] = append(sm.schedWarps[s], ws)
 	}
-	return sm
+	return sm, nil
+}
+
+// SetFaults arms a fault-injection plan on this SM and its sharing
+// manager (invariant-checker tests only).
+func (sm *SM) SetFaults(p *fault.Plan) {
+	sm.faults = p
+	sm.shr.Faults = p
 }
 
 // Occupancy returns the SM's occupancy plan.
@@ -205,12 +214,15 @@ func (sm *SM) FinishedSlots() []int {
 
 // LaunchBlock installs CTA ctaID into the given block slot. New blocks in
 // a pair slot whose partner is live start as non-owner (ownership is
-// already held by the surviving partner after a transfer).
-func (sm *SM) LaunchBlock(slot, ctaID int) {
+// already held by the surviving partner after a transfer). Launching
+// into a slot that still runs a live block is a dispatcher invariant
+// violation and is reported as an error.
+func (sm *SM) LaunchBlock(slot, ctaID int) error {
 	k := sm.launch.Kernel
 	b := &sm.blocks[slot]
 	if b.live {
-		panic(fmt.Sprintf("SM%d: double launch into live slot %d", sm.ID, slot))
+		return fmt.Errorf("SM%d: double launch of CTA %d into live slot %d (occupied by CTA %d)",
+			sm.ID, ctaID, slot, b.ctaID)
 	}
 	*b = blockCtx{
 		live:        true,
@@ -266,6 +278,7 @@ func (sm *SM) LaunchBlock(slot, ctaID int) {
 	if n := sm.ActiveBlocks(); n > sm.Stats.MaxResidentTB {
 		sm.Stats.MaxResidentTB = n
 	}
+	return nil
 }
 
 // Idle reports whether the SM has no live blocks.

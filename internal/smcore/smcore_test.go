@@ -20,8 +20,20 @@ func buildSM(t *testing.T, cfg config.Config, k *kernel.Kernel, grid int, params
 	ms := mem.NewSystem(&cfg)
 	l := &kernel.Launch{Kernel: k, GridDim: grid, Params: params}
 	occ := core.ComputeOccupancy(&cfg, k)
-	sm := New(0, &cfg, l, occ, ms)
+	sm, err := New(0, &cfg, l, occ, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return sm, ms, l
+}
+
+// mustLaunch installs a CTA into a slot, failing the test on a
+// dispatcher invariant violation.
+func mustLaunch(t *testing.T, sm *SM, slot, cta int) {
+	t.Helper()
+	if err := sm.LaunchBlock(slot, cta); err != nil {
+		t.Fatal(err)
+	}
 }
 
 // runToCompletion ticks SM and memory until all blocks retire.
@@ -32,7 +44,9 @@ func runToCompletion(t *testing.T, sm *SM, ms *mem.System, maxCycles int64) int6
 		if now > maxCycles {
 			t.Fatalf("SM did not finish within %d cycles", maxCycles)
 		}
-		sm.Tick(now)
+		if err := sm.Tick(now); err != nil {
+			t.Fatal(err)
+		}
 		ms.Tick(now)
 		sm.FinishedSlots()
 		if sm.Idle() {
@@ -57,7 +71,7 @@ func TestScoreboardSerializesRAWChain(t *testing.T) {
 	cfg := config.Default()
 	const n = 20
 	sm, ms, _ := buildSM(t, cfg, depChainKernel(n), 1)
-	sm.LaunchBlock(0, 0)
+	mustLaunch(t, sm, 0, 0)
 	cycles := runToCompletion(t, sm, ms, 100000)
 	if min := int64(n * cfg.SPLat); cycles < min {
 		t.Errorf("chain of %d finished in %d cycles, violates %d-cycle ALU latency", n, cycles, min)
@@ -75,7 +89,7 @@ func TestMoreWarpsHideLatency(t *testing.T) {
 	cfg := config.Default()
 	k := depChainKernel(30)
 	sm1, ms1, _ := buildSM(t, cfg, k, 1)
-	sm1.LaunchBlock(0, 0)
+	mustLaunch(t, sm1, 0, 0)
 	single := runToCompletion(t, sm1, ms1, 100000)
 
 	// 256-thread block: 8 warps of the same chain.
@@ -87,7 +101,7 @@ func TestMoreWarpsHideLatency(t *testing.T) {
 	b.Exit()
 	k8 := b.MustBuild()
 	sm8, ms8, _ := buildSM(t, cfg, k8, 1)
-	sm8.LaunchBlock(0, 0)
+	mustLaunch(t, sm8, 0, 0)
 	eight := runToCompletion(t, sm8, ms8, 100000)
 	if eight > 2*single {
 		t.Errorf("8 warps took %d cycles vs %d for 1: latency not hidden", eight, single)
@@ -109,7 +123,7 @@ func TestBarrierSynchronizesWarps(t *testing.T) {
 
 	cfg := config.Default()
 	sm, ms, _ := buildSM(t, cfg, k, 1)
-	sm.LaunchBlock(0, 0)
+	mustLaunch(t, sm, 0, 0)
 	runToCompletion(t, sm, ms, 100000)
 	if sm.Stats.BarrierWaits == 0 {
 		t.Error("expected some warp-cycles at the barrier")
@@ -130,7 +144,7 @@ func TestBarrierWithEarlyExit(t *testing.T) {
 	k := b.MustBuild()
 	cfg := config.Default()
 	sm, ms, _ := buildSM(t, cfg, k, 1)
-	sm.LaunchBlock(0, 0)
+	mustLaunch(t, sm, 0, 0)
 	runToCompletion(t, sm, ms, 100000) // must not hang
 }
 
@@ -142,7 +156,7 @@ func TestBarrierWithEarlyExit(t *testing.T) {
 func TestIdleVsStallClassification(t *testing.T) {
 	cfg := config.Default()
 	sm, ms, _ := buildSM(t, cfg, depChainKernel(40), 1)
-	sm.LaunchBlock(0, 0)
+	mustLaunch(t, sm, 0, 0)
 	runToCompletion(t, sm, ms, 100000)
 	if sm.Stats.IdleCycles == 0 {
 		t.Error("no idle cycles recorded for a dependent chain (data waits)")
@@ -168,7 +182,7 @@ func TestIdleVsStallClassification(t *testing.T) {
 	b.Exit()
 	k := b.MustBuild()
 	sm2, ms2, _ := buildSM(t, cfg, k, 1)
-	sm2.LaunchBlock(0, 0)
+	mustLaunch(t, sm2, 0, 0)
 	runToCompletion(t, sm2, ms2, 100000)
 	if sm2.Stats.StallCycles == 0 {
 		t.Error("bank-conflict LSU serialization must register as stalls")
@@ -198,8 +212,11 @@ func TestGlobalLoadRoundTrip(t *testing.T) {
 	ms.Global.Store32(in, 41)
 	l := &kernel.Launch{Kernel: k, GridDim: 1, Params: []uint32{in, out}}
 	occ := core.ComputeOccupancy(&cfg, k)
-	sm := New(0, &cfg, l, occ, ms)
-	sm.LaunchBlock(0, 0)
+	sm, err := New(0, &cfg, l, occ, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mustLaunch(t, sm, 0, 0)
 	cycles := runToCompletion(t, sm, ms, 100000)
 	if got := ms.Global.Load32(out); got != 42 {
 		t.Errorf("store-after-load = %d, want 42", got)
@@ -240,13 +257,18 @@ func TestDynGateBlocksNonOwnerMemOnSM0(t *testing.T) {
 	if occ.Pairs == 0 {
 		t.Skip("test kernel unexpectedly not register-limited")
 	}
-	sm := New(0, &cfg, l, occ, ms)
+	sm, err := New(0, &cfg, l, occ, ms)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for slot := 0; slot < occ.Max; slot++ {
-		sm.LaunchBlock(slot, slot)
+		mustLaunch(t, sm, slot, slot)
 	}
 	var now int64
 	for now = 0; !sm.Idle() && now < 200000; now++ {
-		sm.Tick(now)
+		if err := sm.Tick(now); err != nil {
+			t.Fatal(err)
+		}
 		ms.Tick(now)
 		for _, s := range sm.FinishedSlots() {
 			_ = s
@@ -285,7 +307,7 @@ func TestSharedRegLockStallsPartner(t *testing.T) {
 		t.Fatalf("expected pairs, got %+v", occ)
 	}
 	for slot := 0; slot < occ.Max; slot++ {
-		sm.LaunchBlock(slot, slot)
+		mustLaunch(t, sm, slot, slot)
 	}
 	runToCompletion(t, sm, ms, 200000)
 	if sm.Stats.SharedRegWaits == 0 {
@@ -319,7 +341,7 @@ func TestRFBankConflictModel(t *testing.T) {
 		cfg := config.Default()
 		cfg.RFBanks = banks
 		sm, ms, _ := buildSM(t, cfg, k, 1)
-		sm.LaunchBlock(0, 0)
+		mustLaunch(t, sm, 0, 0)
 		return runToCompletion(t, sm, ms, 100000)
 	}
 

@@ -1,11 +1,15 @@
 package smcore
 
 import (
+	"fmt"
+
 	"gpushare/internal/core"
+	"gpushare/internal/fault"
 	"gpushare/internal/isa"
 	"gpushare/internal/kernel"
 	"gpushare/internal/mem"
 	"gpushare/internal/sched"
+	"gpushare/internal/simerr"
 	"gpushare/internal/warp"
 )
 
@@ -20,12 +24,12 @@ import (
 // had already issued its work and was only waiting for results ("all
 // the available warps are issued, but no warp is ready to execute") or
 // had nothing to run at all.
-func (sm *SM) Tick(now int64) {
+func (sm *SM) Tick(now int64) error {
 	sm.drainReplies(now)
 	sm.processWritebacks(now)
 
 	if sm.Idle() {
-		return
+		return nil
 	}
 	sm.Stats.Cycles++
 
@@ -39,7 +43,10 @@ func (sm *SM) Tick(now int64) {
 		order := sc.Order(info, sm.orderBuf[:0])
 		sm.orderBuf = order[:0]
 		for _, slot := range order {
-			ok, blocked := sm.tryIssue(slot, now, &memUsed, &sfuUsed)
+			ok, blocked, err := sm.tryIssue(slot, now, &memUsed, &sfuUsed)
+			if err != nil {
+				return err
+			}
 			if ok {
 				sc.Issued(slot)
 				issued++
@@ -63,6 +70,7 @@ func (sm *SM) Tick(now int64) {
 			sm.Stats.BarrierWaits++
 		}
 	}
+	return nil
 }
 
 // buildInfo assembles the scheduler view of one scheduler's warps.
@@ -125,16 +133,17 @@ const (
 )
 
 // tryIssue attempts to issue the next instruction of warp slot ws.
-// It returns (issued, blocked): blocked classifies why a candidate warp
-// could not issue, which drives the stall/idle split.
-func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int) {
+// It returns (issued, blocked, err): blocked classifies why a candidate
+// warp could not issue, which drives the stall/idle split; a non-nil
+// error is a functional execution fault that aborts the run.
+func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int, error) {
 	wc := &sm.warps[ws]
 	if !wc.live || wc.finished || wc.atBarrier {
-		return false, blockNone
+		return false, blockNone, nil
 	}
 	pc, _, ok := wc.w.PC()
 	if !ok {
-		return false, blockNone
+		return false, blockNone, nil
 	}
 	in := &sm.launch.Kernel.Instrs[pc]
 	bs := wc.w.BlockSlot
@@ -146,7 +155,7 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int) {
 	needRegs, needPreds := sm.dependencyMasks(in)
 	if needRegs&wc.pendingRegs != 0 || needPreds&wc.pendingPreds != 0 {
 		sm.Stats.BlockScoreboard++
-		return false, blockData
+		return false, blockData, nil
 	}
 
 	// Structural hazards.
@@ -154,16 +163,16 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int) {
 	case isa.UnitSFU:
 		if *sfuUsed {
 			sm.Stats.BlockUnit++
-			return false, blockStructural
+			return false, blockStructural, nil
 		}
 	case isa.UnitMEM:
 		if *memUsed || now < sm.lsuBusy {
 			sm.Stats.BlockUnit++
-			return false, blockStructural
+			return false, blockStructural, nil
 		}
 		if isa.IsGlobalMem(in.Op) && len(sm.mshr) >= sm.cfg.L1MSHRs {
 			sm.Stats.BlockMemPipe++
-			return false, blockStructural
+			return false, blockStructural, nil
 		}
 	}
 
@@ -173,7 +182,7 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int) {
 		if !sm.shr.TryAcquireReg(bs, wc.w.WarpInCta) {
 			sm.Stats.BlockLockWait++
 			sm.Stats.SharedRegWaits++
-			return false, blockStructural
+			return false, blockStructural, nil
 		}
 	}
 
@@ -187,7 +196,7 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int) {
 			if !sm.shr.TryAcquireSmem(bs) {
 				sm.Stats.BlockLockWait++
 				sm.Stats.SharedMemWaits++
-				return false, blockStructural
+				return false, blockStructural, nil
 			}
 		}
 	}
@@ -198,12 +207,18 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int) {
 		sm.shr.Category(bs) == core.CatNonOwner {
 		if sm.dynProb <= 0 || sm.randFloat() >= sm.dynProb {
 			sm.Stats.BlockDynGate++
-			return false, blockStructural
+			return false, blockStructural, nil
 		}
 	}
 
 	// All checks passed: execute functionally and model timing.
-	res := wc.w.Execute(in, &b.env)
+	res, err := wc.w.Execute(in, &b.env)
+	if err != nil {
+		return false, blockNone, &simerr.SimError{
+			Kind: simerr.KindExec, Cycle: now, SM: sm.ID, Warp: ws,
+			Msg: fmt.Sprintf("functional fault executing pc %d (%s)", pc, in.String()), Err: err,
+		}
+	}
 	sm.Stats.WarpInstrs++
 	sm.Stats.ThreadInstrs += int64(warp.PopCount(res.Active))
 
@@ -211,6 +226,10 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int) {
 	case res.Kind == warp.ResBarrier:
 		if !res.Finished {
 			wc.atBarrier = true
+			if sm.faults.Trip(fault.SkipBarrierArrival, now, sm.ID, ws,
+				"warp parked at barrier without incrementing the arrival count") {
+				break // injected fault: the block's barrier can never release
+			}
 			b.arrived++
 			sm.checkBarrier(bs)
 		}
@@ -257,7 +276,7 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int) {
 	if res.Finished {
 		sm.warpFinished(ws)
 	}
-	return true, blockNone
+	return true, blockNone, nil
 }
 
 // issueGlobalLoad coalesces a load into line transactions and routes each
@@ -364,6 +383,10 @@ func (sm *SM) drainReplies(now int64) {
 	req := sm.memSys.PopReply(sm.ID, now)
 	if req == nil {
 		return
+	}
+	if sm.faults.Trip(fault.DropMemReply, now, sm.ID, -1,
+		fmt.Sprintf("discarded reply for line %#x; its load group never completes", req.LineAddr)) {
+		return // injected fault: the reply vanishes between networks and MSHR
 	}
 	if !sm.cfg.L1Disable {
 		sm.l1.Fill(req.LineAddr)

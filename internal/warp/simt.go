@@ -127,6 +127,10 @@ func (s *SIMT) ActiveUnion() uint32 {
 	return m
 }
 
+// WellFormed reports the structural stack invariant for external
+// auditors (the cycle-level invariant checker): see wellNested.
+func (s *SIMT) WellFormed() bool { return s.wellNested() }
+
 // wellNested reports the structural invariant used by property tests:
 // each entry's mask is a subset of the entry below it (a parent keeps
 // the union of its children so reconvergence restores the full mask),

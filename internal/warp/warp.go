@@ -105,6 +105,25 @@ func (w *State) Reset(lanes uint32) {
 // Finished reports whether every lane has exited.
 func (w *State) Finished() bool { return w.simt.Done() }
 
+// SIMTDepth returns the reconvergence-stack depth (0 once finished).
+func (w *State) SIMTDepth() int { return w.simt.Depth() }
+
+// AuditSIMT checks the warp's reconvergence stack: entries must be
+// well nested (each child mask a subset of its parent, siblings
+// disjoint) and no active lane may lie outside the existence mask.
+func (w *State) AuditSIMT() error {
+	if w.simt.Done() {
+		return nil
+	}
+	if !w.simt.WellFormed() {
+		return fmt.Errorf("warp %d: SIMT stack not well nested (depth %d)", w.ID, w.simt.Depth())
+	}
+	if ghost := w.simt.ActiveUnion() &^ w.Lanes; ghost != 0 {
+		return fmt.Errorf("warp %d: SIMT stack activates non-existent lanes %#x", w.ID, ghost)
+	}
+	return nil
+}
+
 // PC returns the current PC and active mask; ok is false once finished.
 func (w *State) PC() (pc int, mask uint32, ok bool) {
 	if w.simt.Done() {
@@ -195,8 +214,11 @@ func (w *State) EffAddrs(in *isa.Instr, env *Env, addrs *[kernel.WarpSize]uint32
 // Execute functionally executes the instruction at the warp's current PC
 // and advances control flow. The caller (the SM issue stage) is
 // responsible for having verified that in is the instruction at the
-// current PC and that all issue conditions hold.
-func (w *State) Execute(in *isa.Instr, env *Env) Result {
+// current PC and that all issue conditions hold. A non-nil error means
+// the kernel itself is faulty (a barrier inside divergent control flow,
+// a scratchpad access out of bounds); the warp state is left as-is and
+// the simulation must abort.
+func (w *State) Execute(in *isa.Instr, env *Env) (Result, error) {
 	pc, mask := w.simt.Top()
 	_ = pc
 	active := w.guardMask(in, mask)
@@ -206,22 +228,22 @@ func (w *State) Execute(in *isa.Instr, env *Env) Result {
 	case isa.BRA:
 		w.simt.Branch(active, in.Target, in.Reconv)
 		res.Finished = w.simt.Done()
-		return res
+		return res, nil
 
 	case isa.EXIT:
 		res.Kind = ResExit
 		res.Finished = w.simt.ExitLanes(active)
-		return res
+		return res, nil
 
 	case isa.BAR:
 		if w.simt.Depth() > 1 {
-			panic(fmt.Sprintf("warp %d: barrier executed while diverged (depth %d); "+
-				"kernels must only place bar.sync at convergence points", w.ID, w.simt.Depth()))
+			return res, fmt.Errorf("warp %d: barrier executed while diverged (depth %d); "+
+				"kernels must only place bar.sync at convergence points", w.ID, w.simt.Depth())
 		}
 		res.Kind = ResBarrier
 		w.simt.Advance()
 		res.Finished = w.simt.Done()
-		return res
+		return res, nil
 
 	case isa.SETP:
 		p := int(in.Dst.Reg)
@@ -300,14 +322,20 @@ func (w *State) Execute(in *isa.Instr, env *Env) Result {
 			d := int(in.Dst.Reg)
 			for lane := 0; lane < kernel.WarpSize; lane++ {
 				if active&(1<<lane) != 0 {
-					w.SetReg(d, lane, load32(env.Smem, addrs[lane]))
+					v, err := load32(env.Smem, addrs[lane])
+					if err != nil {
+						return res, fmt.Errorf("warp %d lane %d: %w", w.ID, lane, err)
+					}
+					w.SetReg(d, lane, v)
 				}
 			}
 		} else {
 			res.IsStore = true
 			for lane := 0; lane < kernel.WarpSize; lane++ {
 				if active&(1<<lane) != 0 {
-					store32(env.Smem, addrs[lane], w.readOperand(in.B, lane, env))
+					if err := store32(env.Smem, addrs[lane], w.readOperand(in.B, lane, env)); err != nil {
+						return res, fmt.Errorf("warp %d lane %d: %w", w.ID, lane, err)
+					}
 				}
 			}
 		}
@@ -328,23 +356,30 @@ func (w *State) Execute(in *isa.Instr, env *Env) Result {
 
 	w.simt.Advance()
 	res.Finished = w.simt.Done()
-	return res
+	return res, nil
 }
 
 // load32 reads a little-endian 32-bit word from scratchpad. Accesses are
-// clamped to word alignment; out-of-bounds accesses panic, as they denote
-// a kernel bug.
-func load32(b []byte, addr uint32) uint32 {
+// clamped to word alignment; an out-of-bounds access denotes a kernel
+// bug and is reported as an error.
+func load32(b []byte, addr uint32) (uint32, error) {
 	a := addr &^ 3
-	return uint32(b[a]) | uint32(b[a+1])<<8 | uint32(b[a+2])<<16 | uint32(b[a+3])<<24
+	if int64(a)+4 > int64(len(b)) {
+		return 0, fmt.Errorf("scratchpad load at byte %d out of bounds (size %d)", addr, len(b))
+	}
+	return uint32(b[a]) | uint32(b[a+1])<<8 | uint32(b[a+2])<<16 | uint32(b[a+3])<<24, nil
 }
 
-func store32(b []byte, addr uint32, v uint32) {
+func store32(b []byte, addr uint32, v uint32) error {
 	a := addr &^ 3
+	if int64(a)+4 > int64(len(b)) {
+		return fmt.Errorf("scratchpad store at byte %d out of bounds (size %d)", addr, len(b))
+	}
 	b[a] = byte(v)
 	b[a+1] = byte(v >> 8)
 	b[a+2] = byte(v >> 16)
 	b[a+3] = byte(v >> 24)
+	return nil
 }
 
 // LanesMask returns a mask with the low n lanes set.

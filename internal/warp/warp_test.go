@@ -1,6 +1,7 @@
 package warp
 
 import (
+	"strings"
 	"testing"
 
 	"gpushare/internal/isa"
@@ -26,26 +27,33 @@ func testEnv() (*Env, *fakeMem) {
 	}, fm
 }
 
+// mustExec runs one instruction and fails the test on a functional fault.
+func mustExec(t *testing.T, w *State, in *isa.Instr, env *Env) Result {
+	t.Helper()
+	res, err := w.Execute(in, env)
+	if err != nil {
+		t.Fatalf("Execute(%s): %v", in.Op, err)
+	}
+	return res
+}
+
 func TestExecuteSpecials(t *testing.T) {
 	env, _ := testEnv()
 	w := NewState(8, LanesMask(32))
 	w.WarpInCta = 1
-	in := isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Sreg(isa.SrTid)}
-	w.Execute(&in, env)
+	mustExec(t, w, &isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Sreg(isa.SrTid)}, env)
 	if got := w.Reg(0, 5); got != 32+5 {
 		t.Errorf("tid lane 5 = %d, want 37", got)
 	}
 	for spec, want := range map[isa.Special]uint32{
 		isa.SrCtaid: 3, isa.SrNtid: 64, isa.SrNctaid: 10, isa.SrWarpCta: 1,
 	} {
-		in := isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(1), A: isa.Sreg(spec)}
-		w.Execute(&in, env)
+		mustExec(t, w, &isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(1), A: isa.Sreg(spec)}, env)
 		if got := w.Reg(1, 0); got != want {
 			t.Errorf("%s = %d, want %d", spec, got, want)
 		}
 	}
-	in = isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(2), A: isa.Sreg(isa.SrLane)}
-	w.Execute(&in, env)
+	mustExec(t, w, &isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(2), A: isa.Sreg(isa.SrLane)}, env)
 	if got := w.Reg(2, 17); got != 17 {
 		t.Errorf("lane = %d, want 17", got)
 	}
@@ -55,15 +63,13 @@ func TestExecuteGuardedALU(t *testing.T) {
 	env, _ := testEnv()
 	w := NewState(8, LanesMask(32))
 	// p0 = lane < 4
-	setp := isa.Instr{Op: isa.SETP, GuardPred: isa.NoPred, Cmp: isa.CmpLT,
-		Dst: isa.Pred(0), A: isa.Sreg(isa.SrLane), B: isa.Imm(4)}
-	w.Execute(&setp, env)
+	mustExec(t, w, &isa.Instr{Op: isa.SETP, GuardPred: isa.NoPred, Cmp: isa.CmpLT,
+		Dst: isa.Pred(0), A: isa.Sreg(isa.SrLane), B: isa.Imm(4)}, env)
 	if w.Pred(0) != 0xf {
 		t.Fatalf("pred = %#x, want 0xf", w.Pred(0))
 	}
 	// @p0 r1 = 99; others keep 0.
-	mov := isa.Instr{Op: isa.MOV, GuardPred: 0, Dst: isa.Reg(1), A: isa.Imm(99)}
-	res := w.Execute(&mov, env)
+	res := mustExec(t, w, &isa.Instr{Op: isa.MOV, GuardPred: 0, Dst: isa.Reg(1), A: isa.Imm(99)}, env)
 	if res.Active != 0xf {
 		t.Fatalf("active = %#x", res.Active)
 	}
@@ -71,8 +77,7 @@ func TestExecuteGuardedALU(t *testing.T) {
 		t.Errorf("guarded write wrong: lane2=%d lane10=%d", w.Reg(1, 2), w.Reg(1, 10))
 	}
 	// @!p0 r1 = 7.
-	movn := isa.Instr{Op: isa.MOV, GuardPred: 0, GuardNeg: true, Dst: isa.Reg(1), A: isa.Imm(7)}
-	w.Execute(&movn, env)
+	mustExec(t, w, &isa.Instr{Op: isa.MOV, GuardPred: 0, GuardNeg: true, Dst: isa.Reg(1), A: isa.Imm(7)}, env)
 	if w.Reg(1, 2) != 99 || w.Reg(1, 10) != 7 {
 		t.Errorf("negated guard wrong: lane2=%d lane10=%d", w.Reg(1, 2), w.Reg(1, 10))
 	}
@@ -81,8 +86,7 @@ func TestExecuteGuardedALU(t *testing.T) {
 func TestExecuteParamLoad(t *testing.T) {
 	env, _ := testEnv()
 	w := NewState(4, LanesMask(32))
-	in := isa.Instr{Op: isa.LDP, GuardPred: isa.NoPred, Dst: isa.Reg(0), Off: 1}
-	w.Execute(&in, env)
+	mustExec(t, w, &isa.Instr{Op: isa.LDP, GuardPred: isa.NoPred, Dst: isa.Reg(0), Off: 1}, env)
 	if w.Reg(0, 31) != 222 {
 		t.Errorf("param = %d", w.Reg(0, 31))
 	}
@@ -92,12 +96,12 @@ func TestExecuteGlobalLoadStore(t *testing.T) {
 	env, fm := testEnv()
 	w := NewState(8, LanesMask(32))
 	// r0 = lane*4 + 1000
-	w.Execute(&isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Sreg(isa.SrLane)}, env)
-	w.Execute(&isa.Instr{Op: isa.SHL, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Reg(0), B: isa.Imm(2)}, env)
-	w.Execute(&isa.Instr{Op: isa.IADD, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Reg(0), B: isa.Imm(1000)}, env)
+	mustExec(t, w, &isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Sreg(isa.SrLane)}, env)
+	mustExec(t, w, &isa.Instr{Op: isa.SHL, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Reg(0), B: isa.Imm(2)}, env)
+	mustExec(t, w, &isa.Instr{Op: isa.IADD, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Reg(0), B: isa.Imm(1000)}, env)
 	// st.global [r0+0] = lane id (r1)
-	w.Execute(&isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(1), A: isa.Sreg(isa.SrLane)}, env)
-	res := w.Execute(&isa.Instr{Op: isa.STG, GuardPred: isa.NoPred, A: isa.Reg(0), B: isa.Reg(1)}, env)
+	mustExec(t, w, &isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(1), A: isa.Sreg(isa.SrLane)}, env)
+	res := mustExec(t, w, &isa.Instr{Op: isa.STG, GuardPred: isa.NoPred, A: isa.Reg(0), B: isa.Reg(1)}, env)
 	if !res.IsStore || res.GlobalAddrs == nil {
 		t.Fatal("store result missing address info")
 	}
@@ -105,7 +109,7 @@ func TestExecuteGlobalLoadStore(t *testing.T) {
 		t.Errorf("store lane 9 = %d", fm.m[1000+4*9])
 	}
 	// ld.global r2, [r0+4] -> next lane's value (lane 31 reads junk 0).
-	w.Execute(&isa.Instr{Op: isa.LDG, GuardPred: isa.NoPred, Dst: isa.Reg(2), A: isa.Reg(0), Off: 4}, env)
+	mustExec(t, w, &isa.Instr{Op: isa.LDG, GuardPred: isa.NoPred, Dst: isa.Reg(2), A: isa.Reg(0), Off: 4}, env)
 	if w.Reg(2, 5) != 6 || w.Reg(2, 31) != 0 {
 		t.Errorf("load wrong: lane5=%d lane31=%d", w.Reg(2, 5), w.Reg(2, 31))
 	}
@@ -114,43 +118,58 @@ func TestExecuteGlobalLoadStore(t *testing.T) {
 func TestExecuteSharedMemAndBankInfo(t *testing.T) {
 	env, _ := testEnv()
 	w := NewState(8, LanesMask(32))
-	w.Execute(&isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Sreg(isa.SrLane)}, env)
-	w.Execute(&isa.Instr{Op: isa.SHL, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Reg(0), B: isa.Imm(2)}, env)
-	w.Execute(&isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(1), A: isa.Imm(5)}, env)
-	res := w.Execute(&isa.Instr{Op: isa.STS, GuardPred: isa.NoPred, A: isa.Reg(0), B: isa.Reg(1)}, env)
+	mustExec(t, w, &isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Sreg(isa.SrLane)}, env)
+	mustExec(t, w, &isa.Instr{Op: isa.SHL, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Reg(0), B: isa.Imm(2)}, env)
+	mustExec(t, w, &isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(1), A: isa.Imm(5)}, env)
+	res := mustExec(t, w, &isa.Instr{Op: isa.STS, GuardPred: isa.NoPred, A: isa.Reg(0), B: isa.Reg(1)}, env)
 	if res.SharedAddrs == nil || res.SharedAddrs[3] != 12 {
 		t.Fatal("shared store addresses missing")
 	}
-	w.Execute(&isa.Instr{Op: isa.LDS, GuardPred: isa.NoPred, Dst: isa.Reg(2), A: isa.Reg(0)}, env)
+	mustExec(t, w, &isa.Instr{Op: isa.LDS, GuardPred: isa.NoPred, Dst: isa.Reg(2), A: isa.Reg(0)}, env)
 	if w.Reg(2, 30) != 5 {
 		t.Errorf("shared load = %d", w.Reg(2, 30))
 	}
 }
 
-func TestExecuteBarrierPanicsWhenDiverged(t *testing.T) {
+func TestExecuteBarrierErrorsWhenDiverged(t *testing.T) {
 	env, _ := testEnv()
 	w := NewState(4, LanesMask(32))
 	// Diverge with a guarded branch, then try a barrier.
-	w.Execute(&isa.Instr{Op: isa.SETP, GuardPred: isa.NoPred, Cmp: isa.CmpLT,
+	mustExec(t, w, &isa.Instr{Op: isa.SETP, GuardPred: isa.NoPred, Cmp: isa.CmpLT,
 		Dst: isa.Pred(0), A: isa.Sreg(isa.SrLane), B: isa.Imm(16)}, env)
-	w.Execute(&isa.Instr{Op: isa.BRA, GuardPred: 0, Target: 5, Reconv: 6}, env)
-	defer func() {
-		if recover() == nil {
-			t.Error("barrier while diverged must panic")
-		}
-	}()
-	w.Execute(&isa.Instr{Op: isa.BAR, GuardPred: isa.NoPred}, env)
+	mustExec(t, w, &isa.Instr{Op: isa.BRA, GuardPred: 0, Target: 5, Reconv: 6}, env)
+	_, err := w.Execute(&isa.Instr{Op: isa.BAR, GuardPred: isa.NoPred}, env)
+	if err == nil {
+		t.Fatal("barrier while diverged must report an error")
+	}
+	if !strings.Contains(err.Error(), "diverged") {
+		t.Errorf("error %q does not explain the divergence", err)
+	}
+}
+
+func TestExecuteScratchpadOutOfBounds(t *testing.T) {
+	env, _ := testEnv()
+	w := NewState(4, LanesMask(32))
+	// Address far beyond the 512-byte scratchpad.
+	mustExec(t, w, &isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Imm(4096)}, env)
+	_, err := w.Execute(&isa.Instr{Op: isa.LDS, GuardPred: isa.NoPred, Dst: isa.Reg(1), A: isa.Reg(0)}, env)
+	if err == nil {
+		t.Fatal("out-of-bounds scratchpad load must report an error")
+	}
+	if !strings.Contains(err.Error(), "out of bounds") {
+		t.Errorf("error %q does not mention the bounds violation", err)
+	}
 }
 
 func TestEffAddrsMatchesExecute(t *testing.T) {
 	env, _ := testEnv()
 	w := NewState(8, LanesMask(32))
-	w.Execute(&isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Sreg(isa.SrLane)}, env)
-	w.Execute(&isa.Instr{Op: isa.SHL, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Reg(0), B: isa.Imm(3)}, env)
+	mustExec(t, w, &isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Sreg(isa.SrLane)}, env)
+	mustExec(t, w, &isa.Instr{Op: isa.SHL, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Reg(0), B: isa.Imm(3)}, env)
 	in := isa.Instr{Op: isa.LDS, GuardPred: isa.NoPred, Dst: isa.Reg(1), A: isa.Reg(0), Off: 16}
 	var pre [kernel.WarpSize]uint32
 	active := w.EffAddrs(&in, env, &pre)
-	res := w.Execute(&in, env)
+	res := mustExec(t, w, &in, env)
 	if active != res.Active {
 		t.Fatalf("active mismatch: %#x vs %#x", active, res.Active)
 	}
@@ -164,11 +183,11 @@ func TestEffAddrsMatchesExecute(t *testing.T) {
 func TestPartialLastWarp(t *testing.T) {
 	env, _ := testEnv()
 	w := NewState(4, LanesMask(28)) // 28-lane warp, like b+tree's last warp
-	res := w.Execute(&isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Imm(1)}, env)
+	res := mustExec(t, w, &isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(0), A: isa.Imm(1)}, env)
 	if res.Active != LanesMask(28) {
 		t.Fatalf("active = %#x", res.Active)
 	}
-	if !w.Execute(&isa.Instr{Op: isa.EXIT, GuardPred: isa.NoPred}, env).Finished {
+	if !mustExec(t, w, &isa.Instr{Op: isa.EXIT, GuardPred: isa.NoPred}, env).Finished {
 		t.Fatal("exit should finish the partial warp")
 	}
 }
@@ -176,8 +195,8 @@ func TestPartialLastWarp(t *testing.T) {
 func TestResetClearsState(t *testing.T) {
 	env, _ := testEnv()
 	w := NewState(4, LanesMask(32))
-	w.Execute(&isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(3), A: isa.Imm(42)}, env)
-	w.Execute(&isa.Instr{Op: isa.SETP, GuardPred: isa.NoPred, Cmp: isa.CmpEQ,
+	mustExec(t, w, &isa.Instr{Op: isa.MOV, GuardPred: isa.NoPred, Dst: isa.Reg(3), A: isa.Imm(42)}, env)
+	mustExec(t, w, &isa.Instr{Op: isa.SETP, GuardPred: isa.NoPred, Cmp: isa.CmpEQ,
 		Dst: isa.Pred(2), A: isa.Imm(1), B: isa.Imm(1)}, env)
 	w.Reset(LanesMask(16))
 	if w.Reg(3, 0) != 0 || w.Pred(2) != 0 {

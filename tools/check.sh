@@ -1,7 +1,9 @@
 #!/bin/sh
 # Pre-PR gate: vet + formatting + build + race-checked tests for the
 # concurrency-bearing packages (the runner's worker pool / singleflight
-# and the session layer on top of it). Run from the repository root:
+# and the session layer on top of it), a fuzz smoke pass over the
+# assembler and ISA evaluator, and an invariant-audited tier-1 run.
+# Run from the repository root:
 #
 #     ./tools/check.sh          # race tests in -short mode (~seconds)
 #     ./tools/check.sh -full    # race tests without -short
@@ -28,5 +30,12 @@ go build ./...
 
 echo "== go test -race (runner, harness)"
 go test -race $short ./internal/runner/ ./internal/harness/
+
+echo "== fuzz smoke (asm parser, ISA evaluator)"
+go test -fuzz=FuzzAssemble -fuzztime=10s ./internal/asm/
+go test -fuzz=FuzzEval -fuzztime=10s ./internal/isa/
+
+echo "== invariant-audited tier-1 (GPUSHARE_INVARIANT_STRIDE=256)"
+GPUSHARE_INVARIANT_STRIDE=256 go test $short ./internal/gpu/ ./internal/workloads/ ./internal/harness/
 
 echo "ok"
