@@ -17,13 +17,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"gpushare/internal/harness"
+	"gpushare/internal/runner"
 )
 
 func main() {
@@ -51,12 +55,20 @@ func main() {
 		os.Exit(2)
 	}
 
+	// SIGINT/SIGTERM cancel the session context: in-flight simulations
+	// stop within one cancellation stride, completed results stay in the
+	// (atomically written) cache, and gexp exits cleanly instead of
+	// dying mid-write.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	s := harness.NewSession(*scale)
 	s.Verify = *verify
 	s.Workers = *workers
 	s.CacheDir = *cacheDir
 	s.InvariantStride = *invar
 	s.SoftFail = !*strict
+	s.Ctx = ctx
 	if *verbose {
 		s.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
@@ -71,16 +83,14 @@ func main() {
 	// from pure cache hits.
 	if *workers != 1 {
 		if err := s.Precompute(ids...); err != nil {
-			fmt.Fprintf(os.Stderr, "gexp: %v\n", err)
-			os.Exit(1)
+			exitErr(s, "", err)
 		}
 	}
 
 	for _, id := range ids {
 		tab, err := s.Experiment(id)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "gexp: %s: %v\n", id, err)
-			os.Exit(1)
+			exitErr(s, id, err)
 		}
 		if *md {
 			var ref harness.PaperRef
@@ -99,6 +109,21 @@ func main() {
 	if *verbose {
 		fmt.Fprintf(os.Stderr, "gexp: %s\n", s.Counters())
 	}
+}
+
+// exitErr reports a failed or interrupted run. An interrupt exits with
+// the conventional 130 after noting that completed work stays cached.
+func exitErr(s *harness.Session, id string, err error) {
+	prefix := "gexp"
+	if id != "" {
+		prefix += ": " + id
+	}
+	if runner.IsCanceled(err) {
+		fmt.Fprintf(os.Stderr, "%s: interrupted (%s); completed results remain cached\n", prefix, s.Counters())
+		os.Exit(130)
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", prefix, err)
+	os.Exit(1)
 }
 
 func printPaper(id string, tab *harness.Table) {

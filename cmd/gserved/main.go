@@ -1,0 +1,108 @@
+// Command gserved is the crash-tolerant simulation daemon: it serves
+// the internal/runner farm over HTTP/JSON with admission control,
+// per-job deadline propagation, idempotent submission by content-
+// addressed job key, and SIGTERM graceful drain.
+//
+// Usage:
+//
+//	gserved -addr :8377 -cachedir /var/cache/gpushare -j 8
+//	gserved -addr 127.0.0.1:0          # pick a free port (printed on stdout)
+//
+// Endpoints:
+//
+//	POST /v1/jobs            submit or dedup one job ({"workload":..,"scale":..,
+//	                         "config":{..},"deadline_ms":..}); ?wait=1 blocks
+//	GET  /v1/jobs/{key}      poll one job (stats when done, diagnosis when failed)
+//	POST /v1/sweeps          batch submit; GET /v1/sweeps lists the inventory
+//	GET  /healthz /readyz /statusz
+//
+// On SIGTERM or SIGINT the daemon stops admitting (503 + Retry-After),
+// finishes queued and in-flight jobs — their results persist in the
+// disk cache — cancels whatever is still running at the drain deadline,
+// and exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"gpushare/internal/runner"
+	"gpushare/internal/server"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8377", "listen address (use port 0 to pick a free port)")
+		workers  = flag.Int("j", 0, "max concurrent simulations (0 = GOMAXPROCS)")
+		cacheDir = flag.String("cachedir", "", "on-disk result cache directory, shared across restarts ('' disables)")
+		queue    = flag.Int("queue", 64, "admission queue depth; beyond it submissions get 429")
+		maxBody  = flag.Int64("maxbody", 1<<20, "per-request body cap in bytes")
+		maxBytes = flag.Int64("maxinflight", 64<<20, "aggregate in-flight request bytes before shedding")
+		timeout  = flag.Duration("timeout", 0, "per-attempt simulation timeout (0 = none)")
+		deadline = flag.Duration("maxdeadline", 10*time.Minute, "cap on client-requested job deadlines")
+		drain    = flag.Duration("drain", 30*time.Second, "graceful drain deadline after SIGTERM")
+		verify   = flag.Bool("verify", false, "re-check functional outputs after fresh simulations")
+	)
+	flag.Parse()
+
+	srv := server.New(server.Options{
+		Workers:          *workers,
+		QueueDepth:       *queue,
+		MaxBodyBytes:     *maxBody,
+		MaxInFlightBytes: *maxBytes,
+		MaxDeadline:      *deadline,
+		Runner: runner.Options{
+			CacheDir: *cacheDir,
+			Timeout:  *timeout,
+			Verify:   *verify,
+		},
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gserved: %v\n", err)
+		os.Exit(1)
+	}
+	// The resolved address is the startup handshake: scripts that start
+	// gserved on port 0 read it from stdout.
+	fmt.Printf("gserved: listening on %s\n", ln.Addr())
+
+	httpSrv := &http.Server{Handler: srv.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(os.Stderr, "gserved: serve: %v\n", err)
+		os.Exit(1)
+	case got := <-sig:
+		fmt.Printf("gserved: %s: draining (deadline %s)\n", got, *drain)
+	}
+
+	// Drain first — the listener stays up so in-flight jobs remain
+	// pollable and new submissions receive an explicit 503 instead of a
+	// connection refusal — then close the HTTP side.
+	drainErr := srv.Drain(*drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "gserved: shutdown: %v\n", err)
+	}
+	if drainErr != nil {
+		fmt.Fprintf(os.Stderr, "gserved: %v\n", drainErr)
+		os.Exit(1)
+	}
+	c := srv.Runner().Counters()
+	fmt.Printf("gserved: drained: %s\n", c)
+}

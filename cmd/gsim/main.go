@@ -11,9 +11,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"gpushare/internal/config"
 	"gpushare/internal/gpu"
@@ -90,9 +93,15 @@ func main() {
 	// through the job runner: an identical earlier run — same workload,
 	// configuration, and scale, from this or any previous process — is
 	// served from the content-addressed store instead of re-simulated.
+	// SIGINT/SIGTERM cancel the run within one cancellation stride
+	// instead of letting it die mid-simulation; an interrupted cached
+	// run leaves the disk store consistent (entries write atomically).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	if *cacheDir != "" && *trace == 0 {
 		r := runner.New(runner.Options{Workers: 1, CacheDir: *cacheDir, Verify: *verify})
-		res := r.Do(runner.Job{Workload: spec.Name, Config: cfg, Scale: *scale})
+		res := r.DoCtx(ctx, runner.Job{Workload: spec.Name, Config: cfg, Scale: *scale})
 		fatalSim(res.Err)
 		fmt.Print(res.Stats.Report())
 		fmt.Printf("result source: %s\n", res.Tier)
@@ -103,7 +112,7 @@ func main() {
 	}
 
 	inst.Setup(sim.Mem)
-	g, err := sim.Run(inst.Launch)
+	g, err := sim.RunCtx(ctx, inst.Launch)
 	fatalSim(err)
 	fmt.Print(g.Report())
 
@@ -125,10 +134,14 @@ func fatal(err error) {
 
 // fatalSim is fatal with forensics: a typed simulation error prints its
 // full diagnosis (per-warp state, stall reasons, memory queue depths)
-// rather than just the one-line header.
+// rather than just the one-line header. Interrupts exit 130.
 func fatalSim(err error) {
 	if err == nil {
 		return
+	}
+	if runner.IsCanceled(err) {
+		fmt.Fprintln(os.Stderr, "gsim: interrupted")
+		os.Exit(130)
 	}
 	if se, ok := simerr.As(err); ok && se.Dump != nil {
 		fmt.Fprintln(os.Stderr, "gsim:", se.Diagnosis())

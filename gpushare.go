@@ -252,10 +252,17 @@ const (
 	ErrInvariant     = simerr.KindInvariant
 	ErrWatchdog      = simerr.KindWatchdog
 	ErrMaxCycles     = simerr.KindMaxCycles
+	ErrCanceled      = simerr.KindCanceled
 )
 
 // AsSimError unwraps err to the *SimError in its chain, if any.
 func AsSimError(err error) (*SimError, bool) { return simerr.As(err) }
+
+// IsCanceled reports whether a simulation failure is a cancellation
+// outcome (caller context ended, per-attempt timeout, daemon drain)
+// rather than a real simulator failure. Cancellations are transient and
+// resubmittable; they are never negative-cached by a SimRunner.
+func IsCanceled(err error) bool { return runner.IsCanceled(err) }
 
 // Fault injection (testing the simulator itself). A FaultPlan armed on
 // Simulator.Faults deterministically corrupts one internal event — a

@@ -1,0 +1,312 @@
+// Package client is the Go client for gserved (internal/server): it
+// submits simulation jobs, polls them, and retries transient failures
+// with capped exponential backoff plus jitter. Only genuinely retryable
+// outcomes are retried — network errors and 429/502/503/504 shed
+// responses, whose Retry-After the client honors — so a 4xx rejection
+// or a deterministic simulator failure surfaces immediately instead of
+// hammering a server that will never answer differently. Submissions
+// are idempotent by the job's content-addressed key, which is what
+// makes retrying a POST safe.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"gpushare/internal/server"
+)
+
+// Client talks to one gserved daemon. The zero value is not usable;
+// build one with New.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8377".
+	BaseURL string
+	// HTTPClient defaults to a client with a 2-minute overall timeout.
+	HTTPClient *http.Client
+	// MaxRetries is how many times a retryable request is re-sent after
+	// the first attempt (default 4; negative disables retries).
+	MaxRetries int
+	// BaseBackoff seeds the exponential backoff (default 100ms); the
+	// delay before retry n is min(BaseBackoff<<n, MaxBackoff), halved
+	// and jittered. A server Retry-After overrides the computed delay.
+	BaseBackoff time.Duration
+	// MaxBackoff caps one backoff sleep (default 5s).
+	MaxBackoff time.Duration
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+}
+
+// New returns a client for the daemon at baseURL.
+func New(baseURL string) *Client {
+	return &Client{
+		BaseURL:     baseURL,
+		HTTPClient:  &http.Client{Timeout: 2 * time.Minute},
+		MaxRetries:  4,
+		BaseBackoff: 100 * time.Millisecond,
+		MaxBackoff:  5 * time.Second,
+		rng:         rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// APIError is a non-2xx response with its structured body.
+type APIError struct {
+	StatusCode int
+	Body       server.ErrorBody
+}
+
+func (e *APIError) Error() string {
+	if e.Body.Error != "" {
+		return fmt.Sprintf("gserved: %d %s: %s", e.StatusCode, e.Body.Kind, e.Body.Error)
+	}
+	return fmt.Sprintf("gserved: HTTP %d", e.StatusCode)
+}
+
+// Retryable reports whether the response is a transient shed or
+// gateway condition worth retrying.
+func (e *APIError) Retryable() bool {
+	switch e.StatusCode {
+	case http.StatusTooManyRequests, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// RetryAfter returns the server-requested backoff, or 0 when the
+// response carried none.
+func (e *APIError) RetryAfter() time.Duration {
+	if e.Body.RetryAfterSec > 0 {
+		return time.Duration(e.Body.RetryAfterSec) * time.Second
+	}
+	return 0
+}
+
+// Submit enqueues one job (or joins the existing one with the same
+// content-addressed key) and returns its status without waiting.
+func (c *Client) Submit(ctx context.Context, req server.SubmitRequest) (*server.JobStatus, error) {
+	var st server.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// SubmitWait submits one job and blocks until the daemon reports a
+// terminal state. A job the server cancels (deadline, drain) comes back
+// as a retryable 503, so a restarted daemon picks the work up again
+// within the retry budget.
+func (c *Client) SubmitWait(ctx context.Context, req server.SubmitRequest) (*server.JobStatus, error) {
+	var st server.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs?wait=1", req, &st); err != nil {
+		return nil, err
+	}
+	if st.State == server.StateQueued || st.State == server.StateRunning {
+		// The server's wait was cut short (its request context ended);
+		// fall back to polling.
+		return c.Wait(ctx, st.Key, 0)
+	}
+	return &st, nil
+}
+
+// Get polls one job by key.
+func (c *Client) Get(ctx context.Context, key string) (*server.JobStatus, error) {
+	var st server.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+key, nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Wait polls a job until it reaches a terminal state (done, failed, or
+// canceled — inspect State) or ctx ends. poll <= 0 defaults to 250ms.
+func (c *Client) Wait(ctx context.Context, key string, poll time.Duration) (*server.JobStatus, error) {
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		st, err := c.Get(ctx, key)
+		if err != nil {
+			return nil, err
+		}
+		switch st.State {
+		case server.StateDone, server.StateFailed, server.StateCanceled:
+			return st, nil
+		}
+		select {
+		case <-time.After(poll):
+		case <-ctx.Done():
+			return nil, context.Cause(ctx)
+		}
+	}
+}
+
+// Sweep batch-submits jobs; individually shed elements are marked
+// Rejected in the response rather than failing the batch.
+func (c *Client) Sweep(ctx context.Context, reqs []server.SubmitRequest) (*server.SweepResponse, error) {
+	var resp server.SweepResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sweeps", server.SweepRequest{Jobs: reqs}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// SweepList fetches the daemon's whole job inventory.
+func (c *Client) SweepList(ctx context.Context) (*server.SweepResponse, error) {
+	var resp server.SweepResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/sweeps", nil, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Status fetches the daemon's introspection snapshot.
+func (c *Client) Status(ctx context.Context) (*server.Statusz, error) {
+	var st server.Statusz
+	if err := c.do(ctx, http.MethodGet, "/statusz", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// do sends one request with the retry loop. The body is marshaled once
+// and re-sent verbatim on every attempt.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		payload, err = json.Marshal(body)
+		if err != nil {
+			return fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	retries := c.MaxRetries
+	if retries < 0 {
+		retries = 0
+	}
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		err := c.once(ctx, method, path, payload, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		retryAfter := time.Duration(0)
+		if apiErr, ok := err.(*APIError); ok {
+			if !apiErr.Retryable() {
+				return err
+			}
+			retryAfter = apiErr.RetryAfter()
+		}
+		if attempt >= retries {
+			return fmt.Errorf("client: %d attempt(s): %w", attempt+1, lastErr)
+		}
+		if err := c.sleep(ctx, attempt, retryAfter); err != nil {
+			return err
+		}
+	}
+}
+
+// once performs a single HTTP exchange.
+func (c *Client) once(ctx context.Context, method, path string, payload []byte, out any) error {
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, body)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return &transportError{err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		apiErr := &APIError{StatusCode: resp.StatusCode}
+		_ = json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&apiErr.Body)
+		if apiErr.Body.RetryAfterSec == 0 {
+			if sec, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil {
+				apiErr.Body.RetryAfterSec = sec
+			}
+		}
+		return apiErr
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("client: decode response: %w", err)
+	}
+	return nil
+}
+
+// transportError marks network-level failures as retryable.
+type transportError struct{ err error }
+
+func (e *transportError) Error() string { return "client: " + e.err.Error() }
+func (e *transportError) Unwrap() error { return e.err }
+
+// sleep blocks for the backoff before retry attempt+1: the server's
+// Retry-After when given (capped at 2 minutes), otherwise exponential
+// backoff halved and jittered so a shed fleet does not retry in
+// lockstep.
+func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
+	d := retryAfter
+	if d > 2*time.Minute {
+		d = 2 * time.Minute
+	}
+	if d <= 0 {
+		base := c.BaseBackoff
+		if base <= 0 {
+			base = 100 * time.Millisecond
+		}
+		maxB := c.MaxBackoff
+		if maxB <= 0 {
+			maxB = 5 * time.Second
+		}
+		d = base << attempt
+		if d > maxB || d <= 0 { // <=0 catches shift overflow
+			d = maxB
+		}
+		d = d/2 + c.jitter(d/2)
+	}
+	select {
+	case <-time.After(d):
+		return nil
+	case <-ctx.Done():
+		return context.Cause(ctx)
+	}
+}
+
+// jitter returns a uniform duration in [0, max).
+func (c *Client) jitter(max time.Duration) time.Duration {
+	if max <= 0 {
+		return 0
+	}
+	c.rngMu.Lock()
+	defer c.rngMu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return time.Duration(c.rng.Int63n(int64(max)))
+}
+
+// httpClient returns the configured or default HTTP client.
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}

@@ -1,0 +1,164 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gpushare/internal/server"
+)
+
+// fastClient returns a client with millisecond backoff so retry tests
+// stay quick.
+func fastClient(url string) *Client {
+	c := New(url)
+	c.BaseBackoff = 2 * time.Millisecond
+	c.MaxBackoff = 10 * time.Millisecond
+	return c
+}
+
+func TestRetryOnShedThenSuccess(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			_ = json.NewEncoder(w).Encode(server.ErrorBody{Error: "draining", Kind: "draining"})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(server.JobStatus{Key: "k", State: server.StateDone})
+	}))
+	defer ts.Close()
+
+	st, err := fastClient(ts.URL).Get(context.Background(), "k")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	if st.State != server.StateDone {
+		t.Fatalf("state = %q, want done", st.State)
+	}
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2 (one shed, one retry)", calls)
+	}
+}
+
+func TestRetryAfterHonored(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if atomic.AddInt32(&calls, 1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			_ = json.NewEncoder(w).Encode(server.ErrorBody{Error: "queue full", Kind: "queue-full"})
+			return
+		}
+		_ = json.NewEncoder(w).Encode(server.JobStatus{Key: "k", State: server.StateDone})
+	}))
+	defer ts.Close()
+
+	start := time.Now()
+	if _, err := fastClient(ts.URL).Get(context.Background(), "k"); err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	// The computed backoff would be ~1-10ms; the server asked for 1s.
+	if elapsed := time.Since(start); elapsed < 900*time.Millisecond {
+		t.Fatalf("retried after %s; Retry-After: 1 not honored", elapsed)
+	}
+}
+
+func TestNoRetryOnBadRequest(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		w.WriteHeader(http.StatusBadRequest)
+		_ = json.NewEncoder(w).Encode(server.ErrorBody{Error: "unknown workload", Kind: "bad-request"})
+	}))
+	defer ts.Close()
+
+	_, err := fastClient(ts.URL).Submit(context.Background(), server.SubmitRequest{Workload: "nope"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if apiErr.Retryable() {
+		t.Fatal("400 must not be retryable")
+	}
+	if calls != 1 {
+		t.Fatalf("calls = %d, want 1 (no retries on 4xx)", calls)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	var calls int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		atomic.AddInt32(&calls, 1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(server.ErrorBody{Error: "draining", Kind: "draining"})
+	}))
+	defer ts.Close()
+
+	c := fastClient(ts.URL)
+	c.MaxRetries = 2
+	_, err := c.Get(context.Background(), "k")
+	if err == nil {
+		t.Fatal("expected exhaustion error")
+	}
+	if !strings.Contains(err.Error(), "3 attempt(s)") {
+		t.Fatalf("err = %v, want it to report 3 attempts", err)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want wrapped 503", err)
+	}
+	if calls != 3 {
+		t.Fatalf("calls = %d, want 3 (initial + 2 retries)", calls)
+	}
+}
+
+func TestNetworkErrorRetried(t *testing.T) {
+	// A server that dies after the first response: the network failure on
+	// the retry path surfaces as a transport error after the budget.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close() // connection refused from the first attempt on
+
+	c := fastClient(url)
+	c.MaxRetries = 1
+	start := time.Now()
+	_, err := c.Get(context.Background(), "k")
+	if err == nil {
+		t.Fatal("expected transport error")
+	}
+	if !strings.Contains(err.Error(), "2 attempt(s)") {
+		t.Fatalf("err = %v, want 2 attempts (network errors are retryable)", err)
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatal("network retries took implausibly long")
+	}
+}
+
+func TestContextCancelStopsRetries(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := fastClient(ts.URL).Get(ctx, "k")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("ctx cancellation did not interrupt the backoff sleep")
+	}
+}

@@ -1,0 +1,86 @@
+package gpu
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"gpushare/internal/config"
+	"gpushare/internal/kernel"
+	"gpushare/internal/simerr"
+)
+
+// launchVecAdd allocates inputs for an n-thread vecadd and returns its
+// launch descriptor.
+func launchVecAdd(t *testing.T, sim *Sim, n int) *kernel.Launch {
+	t.Helper()
+	k := vecAddKernel(t)
+	aAddr := sim.Mem.Alloc(4 * n)
+	bAddr := sim.Mem.Alloc(4 * n)
+	oAddr := sim.Mem.Alloc(4 * n)
+	return &kernel.Launch{
+		Kernel:  k,
+		GridDim: n / 128,
+		Params:  []uint32{aAddr, bAddr, oAddr},
+	}
+}
+
+func TestRunCtxPreCanceled(t *testing.T) {
+	sim := MustNew(config.Default())
+	l := launchVecAdd(t, sim, 128*28)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := sim.RunCtx(ctx, l)
+	if err == nil {
+		t.Fatal("RunCtx with a canceled context succeeded")
+	}
+	se, ok := simerr.As(err)
+	if !ok || se.Kind != simerr.KindCanceled {
+		t.Fatalf("err = %v, want KindCanceled SimError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v does not wrap context.Canceled", err)
+	}
+}
+
+func TestRunCtxDeadlineStopsMidRun(t *testing.T) {
+	sim := MustNew(config.Default())
+	// Large enough that the simulation far outlives the 1ms deadline.
+	l := launchVecAdd(t, sim, 128*560)
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := sim.RunCtx(ctx, l)
+	elapsed := time.Since(start)
+
+	se, ok := simerr.As(err)
+	if !ok || se.Kind != simerr.KindCanceled {
+		t.Fatalf("err = %v, want KindCanceled SimError", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v does not wrap context.DeadlineExceeded", err)
+	}
+	// The cycle loop polls every cancelStride cycles; even with a slow
+	// machine and -race the run must stop long before MaxCycles.
+	if elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %s; cycle loop is not observing ctx", elapsed)
+	}
+	if se.Cycle <= 0 {
+		t.Fatalf("canceled at cycle %d, want > 0 (mid-run)", se.Cycle)
+	}
+}
+
+func TestRunEquivalentToRunCtxBackground(t *testing.T) {
+	sim := MustNew(config.Default())
+	l := launchVecAdd(t, sim, 128*28)
+	g, err := sim.RunCtx(context.Background(), l)
+	if err != nil {
+		t.Fatalf("RunCtx: %v", err)
+	}
+	if g.Cycles <= 0 {
+		t.Fatalf("cycles = %d, want > 0", g.Cycles)
+	}
+}

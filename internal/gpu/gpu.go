@@ -6,6 +6,7 @@
 package gpu
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -37,6 +38,11 @@ const progressWindow = 500_000
 
 // defaultMaxCycles bounds runaway simulations.
 const defaultMaxCycles = 200_000_000
+
+// cancelStride is how often RunCtx polls its context, in cycles. It is
+// a power of two so the check compiles to a mask, and small enough that
+// a canceled run stops within well under a millisecond of wall time.
+const cancelStride = 1024
 
 // Sim owns the functional memory and runs kernels on a configured GPU.
 // Create it, populate Mem with kernel inputs, Run launches, then read
@@ -104,6 +110,16 @@ func (s *Sim) Occupancy(k *kernel.Kernel) core.Occupancy {
 // statistics. Run may be called repeatedly; global memory and the L2
 // persist across launches (call FlushCaches for cold-cache runs).
 func (s *Sim) Run(l *kernel.Launch) (*stats.GPU, error) {
+	return s.RunCtx(context.Background(), l)
+}
+
+// RunCtx is Run with cooperative cancellation: the cycle loop polls ctx
+// every cancelStride cycles (the same cadence family as the invariant
+// auditor) and a canceled or expired context aborts the run with a
+// KindCanceled error instead of simulating on to MaxCycles. The
+// simulator state is abandoned, not checkpointed — a canceled run
+// produces no statistics.
+func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) {
 	if err := l.Validate(); err != nil {
 		return nil, simerr.Wrap(simerr.KindLaunch, -1, err)
 	}
@@ -172,6 +188,9 @@ func (s *Sim) Run(l *kernel.Launch) (*stats.GPU, error) {
 		if now >= maxCycles {
 			return nil, s.hangError(simerr.KindMaxCycles, now, sms,
 				fmt.Sprintf("kernel %s exceeded %d cycles", launch.Kernel.Name, maxCycles))
+		}
+		if now&(cancelStride-1) == 0 && ctx.Err() != nil {
+			return nil, simerr.Wrap(simerr.KindCanceled, now, ctx.Err())
 		}
 		for _, sm := range sms {
 			if err := sm.Tick(now); err != nil {

@@ -5,6 +5,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -218,8 +219,15 @@ type Session struct {
 	// SoftFail renders a failed simulation as a zero-filled table cell
 	// with its diagnosis collected into the table notes, instead of
 	// aborting the whole experiment. One diverging cell cannot kill a
-	// sweep.
+	// sweep. Cancellations are exempt: an interrupted session aborts
+	// with the cancellation error rather than emitting zeroed cells.
 	SoftFail bool
+	// Ctx, when non-nil, bounds every simulation the session runs.
+	// Cancellation (e.g. SIGINT through signal.NotifyContext) stops
+	// in-flight simulations within one cancellation stride of the cycle
+	// loop; results completed before the interrupt stay cached, and the
+	// disk store stays consistent (entries are written atomically).
+	Ctx context.Context
 
 	mu sync.Mutex
 	r  *runner.Runner
@@ -277,9 +285,9 @@ func (s *Session) exec(spec *workloads.Spec, label string, cfg config.Config) (*
 		s.record(job)
 		return &stats.GPU{}, nil
 	}
-	res := s.runner().Do(job)
+	res := s.runner().DoCtx(s.context(), job)
 	if res.Err != nil {
-		if s.SoftFail {
+		if s.SoftFail && !runner.IsCanceled(res.Err) {
 			s.noteFailure(spec.Name, label, res.Err)
 			return &stats.GPU{}, nil
 		}
@@ -326,8 +334,23 @@ func (s *Session) Precompute(ids ...string) error {
 			return err
 		}
 	}
-	s.runner().RunAll(jobs)
+	ctx := s.context()
+	s.runner().RunAllCtx(ctx, jobs)
+	// An interrupted sweep keeps its completed (and cached) partial
+	// results but reports the interruption instead of letting the
+	// caller assemble half-empty tables.
+	if err := context.Cause(ctx); err != nil {
+		return fmt.Errorf("precompute interrupted: %w", err)
+	}
 	return nil
+}
+
+// context returns the session's bounding context.
+func (s *Session) context() context.Context {
+	if s.Ctx != nil {
+		return s.Ctx
+	}
+	return context.Background()
 }
 
 // noteFailure records one failed simulation for the current experiment's

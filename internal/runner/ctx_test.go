@@ -1,0 +1,227 @@
+package runner
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"gpushare/internal/config"
+	"gpushare/internal/simerr"
+	"gpushare/internal/stats"
+)
+
+// waitGoroutines polls until the goroutine count returns to (near) the
+// baseline, failing with a full stack dump if it never does. A small
+// slack absorbs runtime helpers (timers, GC workers).
+func waitGoroutines(t *testing.T, baseline int) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+1 {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			t.Fatalf("goroutines leaked: baseline %d, now %d\n%s",
+				baseline, n, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestTimeoutCancelsAttemptGoroutine is the regression test for the
+// abandoned-attempt wart: a timed-out attempt's goroutine must be
+// cancelled (and exit) rather than simulating on in the background. The
+// stub only returns when its context is cancelled, exactly like the
+// cycle loop's stride check — if the runner stopped cancelling
+// abandoned attempts, this goroutine would be stuck forever.
+func TestTimeoutCancelsAttemptGoroutine(t *testing.T) {
+	before := runtime.NumGoroutine()
+	r := New(Options{Workers: 1, Timeout: 10 * time.Millisecond, Retries: -1})
+	r.simFn = func(ctx context.Context, j Job, verify bool) (*stats.GPU, error) {
+		<-ctx.Done()
+		return nil, simerr.Wrap(simerr.KindCanceled, 1, context.Cause(ctx))
+	}
+
+	res := r.Do(cheapJob(nil))
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "timed out") {
+		t.Fatalf("err = %v, want per-attempt timeout", res.Err)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", res.Attempts)
+	}
+	waitGoroutines(t, before)
+}
+
+// TestTimeoutStopsRealSimulation drives the same path through the real
+// simulator: the per-attempt deadline propagates into the cycle loop and
+// the abandoned run stops within one cancellation stride.
+func TestTimeoutStopsRealSimulation(t *testing.T) {
+	before := runtime.NumGoroutine()
+	r := New(Options{Workers: 1, Timeout: 2 * time.Millisecond, Retries: -1})
+	res := r.Do(cheapJob(nil))
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "timed out") {
+		t.Fatalf("err = %v, want per-attempt timeout", res.Err)
+	}
+	waitGoroutines(t, before)
+	if c := r.Counters(); c.Failed != 1 {
+		t.Fatalf("failed = %d, want 1 (exhausted timeout is a real failure)", c.Failed)
+	}
+}
+
+// TestRunAllCtxCancelMidSweep models SIGINT during a sweep: completed
+// jobs keep their (cached) results, everything after the interrupt
+// reports a cancellation, and cancelled keys stay resubmittable because
+// cancellations are never negative-cached.
+func TestRunAllCtxCancelMidSweep(t *testing.T) {
+	r := New(Options{Workers: 1, Retries: -1})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	var calls int32
+	r.simFn = func(c context.Context, j Job, verify bool) (*stats.GPU, error) {
+		switch atomic.AddInt32(&calls, 1) {
+		case 1:
+			return &stats.GPU{Cycles: 42}, nil
+		case 2:
+			cancel() // the interrupt arrives while job 2 is running
+			return nil, simerr.Wrap(simerr.KindCanceled, 7, context.Cause(c))
+		default:
+			return &stats.GPU{Cycles: 43}, nil
+		}
+	}
+	jobs := []Job{
+		cheapJob(func(c *config.Config) { c.Seed = 101 }),
+		cheapJob(func(c *config.Config) { c.Seed = 102 }),
+		cheapJob(func(c *config.Config) { c.Seed = 103 }),
+		cheapJob(func(c *config.Config) { c.Seed = 104 }),
+	}
+	results := r.RunAllCtx(ctx, jobs)
+
+	if results[0].Err != nil || results[0].Stats == nil || results[0].Stats.Cycles != 42 {
+		t.Fatalf("job 0 = %+v, want completed with cycles 42", results[0])
+	}
+	for i := 1; i < len(jobs); i++ {
+		if results[i].Err == nil {
+			t.Fatalf("job %d succeeded; want cancellation", i)
+		}
+		if !IsCanceled(results[i].Err) {
+			t.Fatalf("job %d err = %v, not a cancellation", i, results[i].Err)
+		}
+	}
+	if c := r.Counters(); c.Canceled == 0 {
+		t.Fatalf("counters = %+v, want canceled > 0", c)
+	}
+
+	// The completed job stays cached...
+	if res := r.Do(jobs[0]); res.Err != nil || res.Tier != FromMemory {
+		t.Fatalf("job 0 resubmit = tier %s err %v, want memory hit", res.Tier, res.Err)
+	}
+	// ...and an interrupted key is resubmittable (no negative cache).
+	if res := r.Do(jobs[2]); res.Err != nil || res.Stats.Cycles != 43 {
+		t.Fatalf("job 2 resubmit = %+v, want fresh success", res)
+	}
+}
+
+// TestDoCtxWaiterCancelKeepsLeader: a waiter abandoning a deduplicated
+// in-flight job gets a cancellation, but the leader's simulation is not
+// disturbed and its result still lands in the cache.
+func TestDoCtxWaiterCancelKeepsLeader(t *testing.T) {
+	r := New(Options{Workers: 2, Retries: -1})
+	gate := make(chan struct{})
+	started := make(chan struct{})
+	r.simFn = func(ctx context.Context, j Job, verify bool) (*stats.GPU, error) {
+		close(started)
+		<-gate
+		return &stats.GPU{Cycles: 7}, nil
+	}
+	job := cheapJob(nil)
+	leader := make(chan Result, 1)
+	go func() { leader <- r.Do(job) }()
+	<-started
+
+	wctx, wcancel := context.WithCancel(context.Background())
+	wcancel()
+	res := r.DoCtx(wctx, job)
+	if res.Err == nil || !IsCanceled(res.Err) {
+		t.Fatalf("waiter err = %v, want cancellation", res.Err)
+	}
+
+	close(gate)
+	lr := <-leader
+	if lr.Err != nil {
+		t.Fatalf("leader err = %v", lr.Err)
+	}
+	if lr.Stats.Cycles != 7 {
+		t.Fatalf("leader cycles = %d, want 7", lr.Stats.Cycles)
+	}
+	if got := r.Do(job); got.Tier != FromMemory {
+		t.Fatalf("resubmit tier = %s, want memory hit", got.Tier)
+	}
+}
+
+// TestConcurrentDiskWritersSameKey models two processes sharing one
+// CacheDir and racing the same key: both must succeed with identical
+// stats, and the store entry they leave behind must be readable by a
+// third, fresh runner (the atomic temp+rename write never exposes a
+// torn entry).
+func TestConcurrentDiskWritersSameKey(t *testing.T) {
+	dir := t.TempDir()
+	job := cheapJob(nil)
+
+	r1 := New(Options{Workers: 1, CacheDir: dir})
+	r2 := New(Options{Workers: 1, CacheDir: dir})
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	results := make([]Result, 2)
+	for i, r := range []*Runner{r1, r2} {
+		wg.Add(1)
+		go func(i int, r *Runner) {
+			defer wg.Done()
+			<-start
+			results[i] = r.Do(job)
+		}(i, r)
+	}
+	close(start)
+	wg.Wait()
+
+	for i, res := range results {
+		if res.Err != nil {
+			t.Fatalf("runner %d: %v", i, res.Err)
+		}
+	}
+	b0 := mustJSON(t, results[0].Stats)
+	b1 := mustJSON(t, results[1].Stats)
+	if !bytes.Equal(b0, b1) {
+		t.Fatalf("racing runners produced different stats")
+	}
+
+	r3 := New(Options{Workers: 1, CacheDir: dir})
+	res := r3.Do(job)
+	if res.Err != nil {
+		t.Fatalf("fresh runner: %v", res.Err)
+	}
+	if res.Tier != FromDisk {
+		t.Fatalf("fresh runner tier = %s, want disk hit", res.Tier)
+	}
+	if !bytes.Equal(mustJSON(t, res.Stats), b0) {
+		t.Fatalf("disk entry differs from the racing writers' result")
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}

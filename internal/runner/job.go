@@ -10,6 +10,7 @@
 package runner
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -77,8 +78,9 @@ func Fingerprint() string {
 
 // simulate executes the job's simulation from scratch: it rebuilds the
 // workload instance at the job's scale, runs it under the job's
-// configuration, and optionally re-checks functional outputs.
-func simulate(j Job, verify bool) (*stats.GPU, error) {
+// configuration with the caller's context (cancellation stops the cycle
+// loop within one stride), and optionally re-checks functional outputs.
+func simulate(ctx context.Context, j Job, verify bool) (*stats.GPU, error) {
 	spec, err := workloads.ByName(j.Workload)
 	if err != nil {
 		return nil, err
@@ -89,7 +91,7 @@ func simulate(j Job, verify bool) (*stats.GPU, error) {
 	}
 	inst := spec.Build(j.Scale)
 	inst.Setup(sim.Mem)
-	g, err := sim.Run(inst.Launch)
+	g, err := sim.RunCtx(ctx, inst.Launch)
 	if err != nil {
 		return nil, err
 	}

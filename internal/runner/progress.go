@@ -13,6 +13,7 @@ type Counters struct {
 	DiskHits  int64
 	Simulated int64 // fresh simulations completed
 	Failed    int64
+	Canceled  int64 // jobs aborted by context cancellation (drain, deadline)
 	SimCycles int64 // simulated GPU cycles accumulated by fresh runs
 	Elapsed   time.Duration
 }
@@ -30,9 +31,13 @@ func (c Counters) HitRate() float64 {
 
 // String renders a one-line summary.
 func (c Counters) String() string {
-	return fmt.Sprintf("%d jobs: %d simulated, %d cached (%.0f%% hit: %d mem, %d disk), %d failed, %s simulated-cycles in %s",
+	s := fmt.Sprintf("%d jobs: %d simulated, %d cached (%.0f%% hit: %d mem, %d disk), %d failed, %s simulated-cycles in %s",
 		c.Done, c.Simulated, c.Hits(), c.HitRate()*100, c.MemHits, c.DiskHits,
 		c.Failed, humanCount(c.SimCycles), c.Elapsed.Round(time.Millisecond))
+	if c.Canceled > 0 {
+		s += fmt.Sprintf(", %d canceled", c.Canceled)
+	}
+	return s
 }
 
 // Counters returns the runner's cumulative counters.
@@ -43,6 +48,7 @@ func (r *Runner) Counters() Counters {
 		DiskHits:  atomic.LoadInt64(&r.diskHits),
 		Simulated: atomic.LoadInt64(&r.simulated),
 		Failed:    atomic.LoadInt64(&r.failures),
+		Canceled:  atomic.LoadInt64(&r.canceled),
 		SimCycles: atomic.LoadInt64(&r.simCycles),
 		Elapsed:   time.Since(r.start),
 	}

@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -25,9 +27,10 @@ type Options struct {
 	// MemEntries bounds the in-memory LRU tier (0 = default 4096).
 	MemEntries int
 	// Timeout aborts a single simulation attempt after this long
-	// (0 = no timeout). The abandoned attempt's goroutine still runs to
-	// the simulator's own MaxCycles safety valve; its result is
-	// discarded.
+	// (0 = no timeout). The attempt's context is canceled, so the
+	// simulation itself stops within one cancellation stride of the
+	// cycle loop; the discarded attempt does not keep a goroutine
+	// running to MaxCycles.
 	Timeout time.Duration
 	// Retries is how many extra attempts a job that panicked or timed
 	// out gets before being reported failed. Plain simulation errors
@@ -65,7 +68,7 @@ type Runner struct {
 	cache *store
 	// simFn is the simulation entry point; tests substitute failing or
 	// panicking implementations.
-	simFn func(Job, bool) (*stats.GPU, error)
+	simFn func(context.Context, Job, bool) (*stats.GPU, error)
 
 	mu       sync.Mutex
 	inflight map[string]*call
@@ -77,6 +80,7 @@ type Runner struct {
 	diskHits  int64
 	simulated int64
 	failures  int64
+	canceled  int64
 	simCycles int64
 
 	progressMu sync.Mutex
@@ -116,15 +120,48 @@ func New(o Options) *Runner {
 	}
 }
 
+// IsCanceled reports whether a job failure is a cancellation outcome —
+// the caller's context ended or the simulation was aborted mid-run —
+// rather than a real simulator failure. Cancellations are transient:
+// they are never negative-cached, so resubmitting the same job after
+// the pressure clears re-simulates it.
+func IsCanceled(err error) bool {
+	if err == nil {
+		return false
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return true
+	}
+	if se, ok := simerr.As(err); ok {
+		return se.Kind == simerr.KindCanceled
+	}
+	return false
+}
+
 // RunJob executes one job (cached) and returns its statistics.
 func (r *Runner) RunJob(j Job) (*stats.GPU, error) {
 	res := r.Do(j)
 	return res.Stats, res.Err
 }
 
+// RunJobCtx is RunJob under a context.
+func (r *Runner) RunJobCtx(ctx context.Context, j Job) (*stats.GPU, error) {
+	res := r.DoCtx(ctx, j)
+	return res.Stats, res.Err
+}
+
 // Do executes one job through the cache and reports its provenance.
 // Concurrent Do calls for the same job key share a single execution.
-func (r *Runner) Do(j Job) Result {
+func (r *Runner) Do(j Job) Result { return r.DoCtx(context.Background(), j) }
+
+// DoCtx is Do under a context: the context is propagated into the
+// simulation's cycle loop, so cancellation or an expired deadline stops
+// the attempt within one cancellation stride instead of letting it run
+// to MaxCycles. A canceled job is not negative-cached and may be
+// resubmitted. When a second caller joins an in-flight execution and
+// its own context ends first, only the wait is abandoned — the leader's
+// simulation continues under the leader's context.
+func (r *Runner) DoCtx(ctx context.Context, j Job) Result {
 	key, err := j.Key()
 	if err != nil {
 		return Result{Job: j, Err: err}
@@ -137,25 +174,49 @@ func (r *Runner) Do(j Job) Result {
 	}
 	if c, ok := r.inflight[key]; ok {
 		r.mu.Unlock()
-		<-c.doneCh
-		res := c.res
-		res.Job = j
-		return res
+		select {
+		case <-c.doneCh:
+			res := c.res
+			res.Job = j
+			return res
+		case <-ctx.Done():
+			return Result{Job: j, Key: key,
+				Err: fmt.Errorf("job %s: %w", j, context.Cause(ctx))}
+		}
 	}
 	c := &call{doneCh: make(chan struct{})}
 	r.inflight[key] = c
 	r.mu.Unlock()
 
-	c.res = r.execute(j, key)
+	c.res = r.execute(ctx, j, key)
 	close(c.doneCh)
 
 	r.mu.Lock()
 	delete(r.inflight, key)
-	if c.res.Err != nil {
+	if c.res.Err != nil && !IsCanceled(c.res.Err) {
 		r.failed[key] = c.res.Err
 	}
 	r.mu.Unlock()
 	return c.res
+}
+
+// InFlight reports how many distinct job keys are currently executing.
+// It is the queue-introspection hook gserved's status endpoints read.
+func (r *Runner) InFlight() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.inflight)
+}
+
+// Lookup probes the two-tier cache for an already-computed result by
+// key, without ever simulating. It lets a restarted daemon serve
+// results produced by an earlier process from the shared disk store.
+func (r *Runner) Lookup(key string) (*stats.GPU, CacheTier, bool) {
+	g, tier := r.cache.get(key)
+	if g == nil {
+		return nil, Simulated, false
+	}
+	return g, tier, true
 }
 
 // RunAll executes every job through the worker pool, deduplicating by
@@ -163,6 +224,15 @@ func (r *Runner) Do(j Job) Result {
 // job failures are reported in their Result, not as an aggregate error:
 // one diverging simulation cannot kill the sweep.
 func (r *Runner) RunAll(jobs []Job) []Result {
+	return r.RunAllCtx(context.Background(), jobs)
+}
+
+// RunAllCtx is RunAll under a context. Cancellation stops feeding the
+// worker pool and aborts in-flight simulations within one cancellation
+// stride; jobs that already completed keep their results (the sweep's
+// partial output stays valid and cached), and jobs that never ran
+// report the context's cancellation cause as their error.
+func (r *Runner) RunAllCtx(ctx context.Context, jobs []Job) []Result {
 	results := make([]Result, len(jobs))
 
 	// Deduplicate so each distinct simulation is queued once; duplicate
@@ -196,17 +266,30 @@ func (r *Runner) RunAll(jobs []Job) []Result {
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				results[i] = r.Do(jobs[i])
+				results[i] = r.DoCtx(ctx, jobs[i])
 				atomic.AddInt64(&completed, 1)
 			}
 		}()
 	}
+feed:
 	for _, i := range queue {
-		ch <- i
+		select {
+		case ch <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(ch)
 	wg.Wait()
 	stop()
+
+	// Leaders that were never dequeued after a cancellation report the
+	// cause instead of silently returning an empty Result.
+	for _, i := range queue {
+		if results[i].Stats == nil && results[i].Err == nil {
+			results[i].Err = fmt.Errorf("job %s: %w", jobs[i], context.Cause(ctx))
+		}
+	}
 
 	for i := range jobs {
 		if results[i].Stats != nil || results[i].Err != nil {
@@ -224,8 +307,8 @@ func (r *Runner) RunAll(jobs []Job) []Result {
 }
 
 // execute resolves one job: cache lookup, then simulation with panic
-// capture, timeout, and bounded retry.
-func (r *Runner) execute(j Job, key string) Result {
+// capture, cancellation, timeout, and bounded retry.
+func (r *Runner) execute(ctx context.Context, j Job, key string) Result {
 	if g, tier := r.cache.get(key); g != nil {
 		switch tier {
 		case FromMemory:
@@ -240,8 +323,14 @@ func (r *Runner) execute(j Job, key string) Result {
 	var lastErr error
 	attempts := 0
 	for attempts <= r.opts.Retries {
+		if err := context.Cause(ctx); err != nil {
+			if lastErr == nil {
+				lastErr = err
+			}
+			break
+		}
 		attempts++
-		g, err, retryable := r.attempt(j)
+		g, err, retryable := r.attempt(ctx, j)
 		if err == nil {
 			if cerr := r.cache.put(key, g); cerr != nil {
 				// A failed cache write degrades to cache-miss behaviour;
@@ -258,16 +347,32 @@ func (r *Runner) execute(j Job, key string) Result {
 			break
 		}
 	}
-	atomic.AddInt64(&r.failures, 1)
+	if IsCanceled(lastErr) {
+		atomic.AddInt64(&r.canceled, 1)
+	} else {
+		atomic.AddInt64(&r.failures, 1)
+	}
 	atomic.AddInt64(&r.done, 1)
 	return Result{Job: j, Key: key, Attempts: attempts,
 		Err: fmt.Errorf("job %s (%d attempt(s)): %w", j, attempts, lastErr)}
 }
 
 // attempt runs one simulation attempt in its own goroutine, converting
-// panics into errors and enforcing the per-attempt timeout. Only panics
-// and timeouts are retryable; simulator errors are deterministic.
-func (r *Runner) attempt(j Job) (g *stats.GPU, err error, retryable bool) {
+// panics into errors and enforcing the per-attempt timeout through a
+// derived context, so an abandoned attempt stops within one
+// cancellation stride instead of simulating on. Only panics and
+// timeouts are retryable; simulator errors and caller cancellations are
+// not.
+func (r *Runner) attempt(ctx context.Context, j Job) (g *stats.GPU, err error, retryable bool) {
+	var cancel context.CancelFunc
+	var actx context.Context
+	if r.opts.Timeout > 0 {
+		actx, cancel = context.WithTimeout(ctx, r.opts.Timeout)
+	} else {
+		actx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
 	type outcome struct {
 		g        *stats.GPU
 		err      error
@@ -289,20 +394,26 @@ func (r *Runner) attempt(j Job) (g *stats.GPU, err error, retryable bool) {
 				ch <- outcome{err: fmt.Errorf("simulation panicked: %v", p), panicked: true}
 			}
 		}()
-		g, err := r.simFn(j, r.opts.Verify)
+		g, err := r.simFn(actx, j, r.opts.Verify)
 		ch <- outcome{g: g, err: err}
 	}()
 
-	if r.opts.Timeout <= 0 {
-		o := <-ch
-		return o.g, o.err, o.panicked
-	}
-	timer := time.NewTimer(r.opts.Timeout)
-	defer timer.Stop()
 	select {
 	case o := <-ch:
+		if o.err != nil && IsCanceled(o.err) && ctx.Err() == nil {
+			// The attempt observed its own per-attempt deadline, not the
+			// caller's: report the retryable timeout.
+			return nil, fmt.Errorf("timed out after %s", r.opts.Timeout), true
+		}
 		return o.g, o.err, o.panicked
-	case <-timer.C:
+	case <-actx.Done():
+		if ctx.Err() != nil {
+			// The caller's context ended: a cancellation, never retried.
+			return nil, context.Cause(ctx), false
+		}
+		// Per-attempt timeout. cancel() has fired (deferred) or will on
+		// return, stopping the in-flight attempt within one stride; its
+		// eventual result lands in the buffered channel and is dropped.
 		return nil, fmt.Errorf("timed out after %s", r.opts.Timeout), true
 	}
 }

@@ -2,6 +2,7 @@ package runner
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"sync"
@@ -230,12 +231,12 @@ func TestPanicIsolation(t *testing.T) {
 	r := New(Options{Workers: 4, Retries: -1})
 	real := r.simFn
 	var calls int64
-	r.simFn = func(j Job, verify bool) (*stats.GPU, error) {
+	r.simFn = func(ctx context.Context, j Job, verify bool) (*stats.GPU, error) {
 		if k, _ := j.Key(); k == badKey {
 			atomic.AddInt64(&calls, 1)
 			panic("diverging simulation")
 		}
-		return real(j, verify)
+		return real(ctx, j, verify)
 	}
 
 	jobs := []Job{cheapJob(nil), bad, cheapJob(func(c *config.Config) { c.Sched = config.SchedGTO })}
@@ -259,11 +260,11 @@ func TestPanicRetry(t *testing.T) {
 	r := New(Options{Workers: 1}) // default: 1 retry
 	real := r.simFn
 	var calls int64
-	r.simFn = func(j Job, verify bool) (*stats.GPU, error) {
+	r.simFn = func(ctx context.Context, j Job, verify bool) (*stats.GPU, error) {
 		if atomic.AddInt64(&calls, 1) == 1 {
 			panic("transient")
 		}
-		return real(j, verify)
+		return real(ctx, j, verify)
 	}
 	res := r.Do(cheapJob(nil))
 	if res.Err != nil {
@@ -277,7 +278,7 @@ func TestPanicRetry(t *testing.T) {
 func TestPlainErrorIsNotRetried(t *testing.T) {
 	r := New(Options{Workers: 1})
 	var calls int64
-	r.simFn = func(Job, bool) (*stats.GPU, error) {
+	r.simFn = func(context.Context, Job, bool) (*stats.GPU, error) {
 		atomic.AddInt64(&calls, 1)
 		return nil, os.ErrInvalid
 	}
@@ -292,7 +293,7 @@ func TestPlainErrorIsNotRetried(t *testing.T) {
 func TestTimeout(t *testing.T) {
 	r := New(Options{Workers: 1, Timeout: 10 * time.Millisecond, Retries: -1})
 	release := make(chan struct{})
-	r.simFn = func(Job, bool) (*stats.GPU, error) {
+	r.simFn = func(context.Context, Job, bool) (*stats.GPU, error) {
 		<-release
 		return &stats.GPU{}, nil
 	}
@@ -310,10 +311,10 @@ func TestSingleflight(t *testing.T) {
 	real := r.simFn
 	var calls int64
 	gate := make(chan struct{})
-	r.simFn = func(j Job, verify bool) (*stats.GPU, error) {
+	r.simFn = func(ctx context.Context, j Job, verify bool) (*stats.GPU, error) {
 		atomic.AddInt64(&calls, 1)
 		<-gate
-		return real(j, verify)
+		return real(ctx, j, verify)
 	}
 	job := cheapJob(nil)
 	var wg sync.WaitGroup
@@ -366,7 +367,7 @@ func TestProgressReporting(t *testing.T) {
 		Progress:         func(l string) { mu.Lock(); lines = append(lines, l); mu.Unlock() },
 		ProgressInterval: time.Millisecond,
 	})
-	r.simFn = func(Job, bool) (*stats.GPU, error) {
+	r.simFn = func(context.Context, Job, bool) (*stats.GPU, error) {
 		time.Sleep(5 * time.Millisecond)
 		return &stats.GPU{Cycles: 100}, nil
 	}

@@ -1,0 +1,423 @@
+// Package server implements gserved: a long-lived HTTP/JSON daemon that
+// exposes the internal/runner simulation farm to many concurrent
+// clients and is engineered to degrade gracefully rather than fall
+// over. The robustness machinery:
+//
+//   - Admission control: a bounded queue between the HTTP handlers and
+//     the simulation workers. When the queue is full the server sheds
+//     load with 429 + Retry-After instead of buffering unboundedly;
+//     while draining it rejects with 503. Request bodies are capped per
+//     request and in aggregate.
+//   - Deadline propagation: a client's deadline_ms becomes a real
+//     context.Context deadline threaded through runner.DoCtx into the
+//     simulator's cycle loop, so a timed-out job stops within one
+//     cancellation stride instead of running to MaxCycles.
+//   - Idempotent resubmission: jobs are addressed by the runner's
+//     content-addressed SHA-256 key; resubmitting an in-flight or
+//     finished key returns the existing job instead of a duplicate.
+//   - Crash isolation: handlers run under a recover middleware, and a
+//     failed simulation's simerr.SimError is converted into a
+//     structured body carrying kind, cycle, SM, warp, and the forensic
+//     dump — the daemon itself never dies of one bad job.
+//   - Graceful drain: Drain stops admission, lets queued and in-flight
+//     jobs finish (their results persist in the shared disk cache),
+//     and cancels whatever is still running at the drain deadline. A
+//     restarted daemon serves drained keys from the disk store.
+package server
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"gpushare/internal/config"
+	"gpushare/internal/runner"
+	"gpushare/internal/simerr"
+	"gpushare/internal/workloads"
+)
+
+// Options configures a Server. The zero value is usable: GOMAXPROCS
+// workers, a 64-deep queue, 1MB bodies, and a memory-only cache.
+type Options struct {
+	// Workers bounds concurrent simulations (0 = GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds admitted-but-unstarted jobs (0 = 64).
+	// Submissions beyond it are shed with 429 + Retry-After.
+	QueueDepth int
+	// MaxBodyBytes caps one request body (0 = 1MB).
+	MaxBodyBytes int64
+	// MaxInFlightBytes caps the aggregate request-body bytes being
+	// parsed or queued across all connections (0 = 64MB). Beyond it
+	// submissions are shed with 429.
+	MaxInFlightBytes int64
+	// MaxDeadline caps client-requested job deadlines (0 = 10m).
+	MaxDeadline time.Duration
+	// Runner configures the underlying simulation farm (cache
+	// directory, per-attempt timeout, retries, verification). Its
+	// Workers field is overridden by Options.Workers.
+	Runner runner.Options
+}
+
+// job is one submission's server-side state. Transitions are guarded by
+// Server.mu; done is closed exactly once when the job reaches a
+// terminal state.
+type job struct {
+	key      string
+	rjob     runner.Job
+	deadline time.Time // zero = no client deadline
+
+	state string
+	res   runner.Result // valid once state is terminal
+	done  chan struct{}
+}
+
+// Server is the gserved daemon core: admission, job registry, worker
+// pool, and drain state machine. Build one with New, mount Handler on
+// an http.Server, and call Drain on shutdown.
+type Server struct {
+	opts Options
+	r    *runner.Runner
+	mux  *http.ServeMux
+
+	baseCtx context.Context // canceled at the drain deadline
+	cancel  context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	queue    chan *job
+	draining bool
+
+	wg    sync.WaitGroup
+	start time.Time
+
+	inFlightBytes atomic.Int64
+	accepted      atomic.Int64
+	deduped       atomic.Int64
+	rejQueue      atomic.Int64
+	rejDrain      atomic.Int64
+	rejBytes      atomic.Int64
+	panics        atomic.Int64
+}
+
+// New builds the daemon core and starts its worker pool.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.QueueDepth <= 0 {
+		opts.QueueDepth = 64
+	}
+	if opts.MaxBodyBytes <= 0 {
+		opts.MaxBodyBytes = 1 << 20
+	}
+	if opts.MaxInFlightBytes <= 0 {
+		opts.MaxInFlightBytes = 64 << 20
+	}
+	if opts.MaxDeadline <= 0 {
+		opts.MaxDeadline = 10 * time.Minute
+	}
+	opts.Runner.Workers = opts.Workers
+
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		opts:    opts,
+		r:       runner.New(opts.Runner),
+		baseCtx: ctx,
+		cancel:  cancel,
+		jobs:    make(map[string]*job),
+		queue:   make(chan *job, opts.QueueDepth),
+		start:   time.Now(),
+	}
+	s.routes()
+	for w := 0; w < opts.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Runner exposes the underlying farm (tests compare against direct
+// sequential runs through it).
+func (s *Server) Runner() *runner.Runner { return s.r }
+
+// worker executes admitted jobs until the queue is closed by Drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for jb := range s.queue {
+		s.runJob(jb)
+	}
+}
+
+// runJob executes one admitted job under the server context plus the
+// job's own deadline, then publishes the terminal state.
+func (s *Server) runJob(jb *job) {
+	ctx := s.baseCtx
+	cancel := func() {}
+	if !jb.deadline.IsZero() {
+		ctx, cancel = context.WithDeadline(ctx, jb.deadline)
+	}
+	s.mu.Lock()
+	jb.state = StateRunning
+	s.mu.Unlock()
+
+	res := s.r.DoCtx(ctx, jb.rjob)
+	cancel()
+
+	state := StateDone
+	if res.Err != nil {
+		if runner.IsCanceled(res.Err) {
+			state = StateCanceled
+		} else {
+			state = StateFailed
+		}
+	}
+	s.mu.Lock()
+	jb.res = res
+	jb.state = state
+	s.mu.Unlock()
+	close(jb.done)
+}
+
+// buildJob validates a submission and materializes the runner job.
+func (s *Server) buildJob(req *SubmitRequest) (runner.Job, string, error) {
+	if req.Workload == "" {
+		return runner.Job{}, "", fmt.Errorf("workload is required")
+	}
+	if _, err := workloads.ByName(req.Workload); err != nil {
+		return runner.Job{}, "", err
+	}
+	scale := req.Scale
+	if scale <= 0 {
+		scale = 1
+	}
+	cfg := config.Default()
+	if req.Config != nil {
+		cfg = *req.Config
+	}
+	if err := cfg.Validate(); err != nil {
+		return runner.Job{}, "", fmt.Errorf("invalid config: %w", err)
+	}
+	rjob := runner.Job{Workload: req.Workload, Config: cfg, Scale: scale}
+	key, err := rjob.Key()
+	if err != nil {
+		return runner.Job{}, "", err
+	}
+	return rjob, key, nil
+}
+
+// submitOutcome is one admission decision.
+type submitOutcome struct {
+	jb         *job
+	httpStatus int    // 200 dedup/cached, 202 admitted, 429/503 shed
+	rejected   string // "queue-full" | "draining" for shed submissions
+	retryAfter int
+}
+
+// submit runs the admission state machine for one validated job: dedup
+// against the registry, then against the result cache, then try to
+// enqueue within the bounded queue. All registry decisions happen under
+// one lock acquisition so a key can never be admitted twice.
+func (s *Server) submit(req *SubmitRequest, rjob runner.Job, key string) submitOutcome {
+	// Cache probe before taking the lock: a disk or memory hit makes
+	// the job instantly terminal without occupying a queue slot.
+	g, tier, cached := s.r.Lookup(key)
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if jb, ok := s.jobs[key]; ok && jb.state != StateCanceled {
+		s.deduped.Add(1)
+		return submitOutcome{jb: jb, httpStatus: http.StatusOK}
+	}
+	// A canceled entry (deadline or drain abort) is transient, exactly
+	// like the runner's no-negative-cache rule: fall through and
+	// re-admit, replacing the registry entry on success.
+	if cached {
+		jb := &job{key: key, rjob: rjob, state: StateDone,
+			res:  runner.Result{Job: rjob, Key: key, Stats: g, Tier: tier},
+			done: make(chan struct{})}
+		close(jb.done)
+		s.jobs[key] = jb
+		s.accepted.Add(1)
+		return submitOutcome{jb: jb, httpStatus: http.StatusOK}
+	}
+	if s.draining {
+		s.rejDrain.Add(1)
+		return submitOutcome{httpStatus: http.StatusServiceUnavailable,
+			rejected: "draining", retryAfter: s.retryAfterLocked()}
+	}
+	jb := &job{key: key, rjob: rjob, state: StateQueued, done: make(chan struct{})}
+	if req.DeadlineMillis > 0 {
+		d := time.Duration(req.DeadlineMillis) * time.Millisecond
+		if d > s.opts.MaxDeadline {
+			d = s.opts.MaxDeadline
+		}
+		jb.deadline = time.Now().Add(d)
+	}
+	select {
+	case s.queue <- jb:
+		s.jobs[key] = jb
+		s.accepted.Add(1)
+		return submitOutcome{jb: jb, httpStatus: http.StatusAccepted}
+	default:
+		s.rejQueue.Add(1)
+		return submitOutcome{httpStatus: http.StatusTooManyRequests,
+			rejected: "queue-full", retryAfter: s.retryAfterLocked()}
+	}
+}
+
+// retryAfterLocked estimates how long a shed client should back off:
+// roughly one queue drain at one job-second per worker, clamped to
+// [1s, 60s]. Called with mu held.
+func (s *Server) retryAfterLocked() int {
+	est := 1 + len(s.queue)/s.opts.Workers
+	if est > 60 {
+		est = 60
+	}
+	return est
+}
+
+// lookupJob returns the registry entry for key, falling back to the
+// result cache so a restarted daemon still serves keys drained to disk
+// by a previous process.
+func (s *Server) lookupJob(key string) (*job, bool) {
+	s.mu.Lock()
+	if jb, ok := s.jobs[key]; ok {
+		s.mu.Unlock()
+		return jb, true
+	}
+	s.mu.Unlock()
+
+	g, tier, ok := s.r.Lookup(key)
+	if !ok {
+		return nil, false
+	}
+	jb := &job{key: key, state: StateDone,
+		res:  runner.Result{Key: key, Stats: g, Tier: tier},
+		done: make(chan struct{})}
+	close(jb.done)
+	s.mu.Lock()
+	if existing, ok := s.jobs[key]; ok { // lost the race; keep the first
+		jb = existing
+	} else {
+		s.jobs[key] = jb
+	}
+	s.mu.Unlock()
+	return jb, true
+}
+
+// status snapshots one job's externally visible state.
+func (s *Server) status(jb *job) JobStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := JobStatus{
+		Key:      jb.key,
+		Workload: jb.rjob.Workload,
+		Scale:    jb.rjob.Scale,
+		State:    jb.state,
+	}
+	switch jb.state {
+	case StateDone:
+		st.Stats = jb.res.Stats
+		st.Tier = jb.res.Tier.String()
+		st.Attempts = jb.res.Attempts
+	case StateFailed, StateCanceled:
+		st.Attempts = jb.res.Attempts
+		if err := jb.res.Err; err != nil {
+			st.Error = err.Error()
+			if se, ok := simerr.As(err); ok {
+				st.ErrorKind = se.Kind.String()
+				if se.Dump != nil {
+					st.Diagnosis = se.Diagnosis()
+				}
+			}
+		}
+	}
+	return st
+}
+
+// Draining reports whether the server has stopped admitting jobs.
+func (s *Server) Draining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// Drain executes the shutdown state machine:
+//
+//	serving -> draining   admission closed: submissions get 503, the
+//	                      queue is closed, workers finish what is
+//	                      queued and in flight (results land in the
+//	                      shared disk cache as they complete)
+//	draining -> canceling at the drain deadline the base context is
+//	                      canceled; in-flight simulations stop within
+//	                      one cancellation stride and report canceled
+//	canceling -> drained  workers have exited
+//
+// Drain returns nil when every worker exited before the deadline plus a
+// short cancellation grace, and is idempotent.
+func (s *Server) Drain(timeout time.Duration) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(timeout):
+	}
+	// Deadline passed: abort whatever is still running and give it a
+	// short grace to observe the cancellation.
+	s.cancel()
+	select {
+	case <-done:
+		return nil
+	case <-time.After(10 * time.Second):
+		return fmt.Errorf("server: drain: workers still running %s after cancellation", timeout)
+	}
+}
+
+// statusz snapshots the whole daemon for GET /statusz.
+func (s *Server) statusz() Statusz {
+	s.mu.Lock()
+	states := make(map[string]int)
+	for _, jb := range s.jobs {
+		states[jb.state]++
+	}
+	state := "serving"
+	if s.draining {
+		state = "draining"
+	}
+	depth := len(s.queue)
+	s.mu.Unlock()
+
+	return Statusz{
+		State:            state,
+		UptimeSec:        time.Since(s.start).Seconds(),
+		Workers:          s.opts.Workers,
+		QueueDepth:       depth,
+		QueueCap:         s.opts.QueueDepth,
+		InFlight:         s.r.InFlight(),
+		InFlightBytes:    s.inFlightBytes.Load(),
+		MaxInFlightBytes: s.opts.MaxInFlightBytes,
+		Accepted:         s.accepted.Load(),
+		Deduped:          s.deduped.Load(),
+		RejectedQueue:    s.rejQueue.Load(),
+		RejectedDrain:    s.rejDrain.Load(),
+		RejectedBytes:    s.rejBytes.Load(),
+		Panics:           s.panics.Load(),
+		JobStates:        states,
+		Runner:           s.r.Counters(),
+	}
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"gpushare/internal/config"
+	"gpushare/internal/runner"
+	"gpushare/internal/stats"
+)
+
+// Job lifecycle states reported by the API.
+const (
+	StateQueued   = "queued"   // admitted, waiting for a worker
+	StateRunning  = "running"  // a worker is simulating it
+	StateDone     = "done"     // finished, stats available
+	StateFailed   = "failed"   // finished with a simulator error
+	StateCanceled = "canceled" // aborted by deadline or drain; resubmittable
+)
+
+// SubmitRequest is the body of POST /v1/jobs and each element of a
+// sweep submission. Workload is required; Scale defaults to 1 and
+// Config to the paper's Table I baseline.
+type SubmitRequest struct {
+	Workload string         `json:"workload"`
+	Scale    int            `json:"scale,omitempty"`
+	Config   *config.Config `json:"config,omitempty"`
+	// DeadlineMillis is this job's execution budget, measured from
+	// admission. A job that exceeds it is canceled within one
+	// cancellation stride of the simulator's cycle loop (never run on to
+	// MaxCycles) and may be resubmitted. 0 means no client deadline; the
+	// server caps it at Options.MaxDeadline either way.
+	DeadlineMillis int64 `json:"deadline_ms,omitempty"`
+}
+
+// JobStatus is one job's externally visible state, returned by submit,
+// poll, and sweep endpoints. Stats is populated only when State is
+// "done"; Error/ErrorKind/Diagnosis only when "failed" or "canceled".
+type JobStatus struct {
+	Key       string     `json:"key"`
+	Workload  string     `json:"workload,omitempty"`
+	Scale     int        `json:"scale,omitempty"`
+	State     string     `json:"state"`
+	Tier      string     `json:"tier,omitempty"` // simulated | memory-cache | disk-cache
+	Attempts  int        `json:"attempts,omitempty"`
+	Error     string     `json:"error,omitempty"`
+	ErrorKind string     `json:"error_kind,omitempty"`
+	Diagnosis string     `json:"diagnosis,omitempty"` // forensic dump for simulator failures
+	Stats     *stats.GPU `json:"stats,omitempty"`
+	// Rejected explains why a sweep element was not admitted
+	// ("queue-full" or "draining"); empty for admitted jobs.
+	Rejected      string `json:"rejected,omitempty"`
+	RetryAfterSec int    `json:"retry_after_sec,omitempty"`
+}
+
+// SweepRequest is the body of POST /v1/sweeps.
+type SweepRequest struct {
+	Jobs []SubmitRequest `json:"jobs"`
+}
+
+// SweepResponse reports per-element admission outcomes (POST) or the
+// full job inventory (GET).
+type SweepResponse struct {
+	Jobs     []JobStatus `json:"jobs"`
+	Rejected int         `json:"rejected,omitempty"`
+}
+
+// ErrorBody is the JSON body of every non-2xx response. Kind carries
+// either an admission reason ("queue-full", "draining", "bad-request",
+// "panic") or the simerr kind of a failed simulation, in which case
+// Cycle/SM/Warp/Diagnosis localize the failure.
+type ErrorBody struct {
+	Error         string `json:"error"`
+	Kind          string `json:"kind,omitempty"`
+	Cycle         int64  `json:"cycle,omitempty"`
+	SM            int    `json:"sm,omitempty"`
+	Warp          int    `json:"warp,omitempty"`
+	Diagnosis     string `json:"diagnosis,omitempty"`
+	RetryAfterSec int    `json:"retry_after_sec,omitempty"`
+}
+
+// Statusz is the GET /statusz introspection snapshot.
+type Statusz struct {
+	State      string  `json:"state"` // serving | draining
+	UptimeSec  float64 `json:"uptime_sec"`
+	Workers    int     `json:"workers"`
+	QueueDepth int     `json:"queue_depth"`
+	QueueCap   int     `json:"queue_cap"`
+	InFlight   int     `json:"in_flight"` // distinct keys executing in the runner
+
+	InFlightBytes    int64 `json:"in_flight_bytes"`
+	MaxInFlightBytes int64 `json:"max_in_flight_bytes"`
+
+	Accepted      int64 `json:"accepted"`
+	Deduped       int64 `json:"deduped"`
+	RejectedQueue int64 `json:"rejected_queue"`
+	RejectedDrain int64 `json:"rejected_drain"`
+	RejectedBytes int64 `json:"rejected_bytes"`
+	Panics        int64 `json:"panics"`
+
+	JobStates map[string]int  `json:"job_states"`
+	Runner    runner.Counters `json:"runner"`
+}

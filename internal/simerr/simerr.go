@@ -31,6 +31,7 @@ const (
 	KindInvariant          // a microarchitectural invariant was violated
 	KindWatchdog           // no instruction issued for the progress window
 	KindMaxCycles          // the MaxCycles safety valve fired
+	KindCanceled           // the run's context was canceled or its deadline expired
 )
 
 func (k Kind) String() string {
@@ -49,6 +50,8 @@ func (k Kind) String() string {
 		return "watchdog"
 	case KindMaxCycles:
 		return "max-cycles"
+	case KindCanceled:
+		return "canceled"
 	}
 	return "unknown"
 }

@@ -1,8 +1,10 @@
 #!/bin/sh
 # Pre-PR gate: vet + formatting + build + race-checked tests for the
-# concurrency-bearing packages (the runner's worker pool / singleflight
-# and the session layer on top of it), a fuzz smoke pass over the
-# assembler and ISA evaluator, and an invariant-audited tier-1 run.
+# concurrency-bearing packages (the runner's worker pool / singleflight,
+# the session layer, and the gserved daemon + client — including the
+# admission-saturation test), a fuzz smoke pass over the assembler and
+# ISA evaluator, an invariant-audited tier-1 run, and a gserved smoke
+# test (start on a random port, submit a job, drain via SIGTERM).
 # Run from the repository root:
 #
 #     ./tools/check.sh          # race tests in -short mode (~seconds)
@@ -31,11 +33,101 @@ go build ./...
 echo "== go test -race (runner, harness)"
 go test -race $short ./internal/runner/ ./internal/harness/
 
+echo "== go test -race (server saturation + drain, client retries)"
+go test -race $short ./internal/server/ ./internal/client/
+
 echo "== fuzz smoke (asm parser, ISA evaluator)"
 go test -fuzz=FuzzAssemble -fuzztime=10s ./internal/asm/
 go test -fuzz=FuzzEval -fuzztime=10s ./internal/isa/
 
 echo "== invariant-audited tier-1 (GPUSHARE_INVARIANT_STRIDE=256)"
 GPUSHARE_INVARIANT_STRIDE=256 go test $short ./internal/gpu/ ./internal/workloads/ ./internal/harness/
+
+echo "== gserved smoke test (submit, statusz, SIGTERM drain)"
+smoketmp=$(mktemp -d)
+smokepid=""
+cleanup_smoke() {
+    [ -n "$smokepid" ] && kill -9 "$smokepid" 2>/dev/null
+    rm -rf "$smoketmp"
+}
+trap cleanup_smoke EXIT
+
+go build -o "$smoketmp/gserved" ./cmd/gserved
+"$smoketmp/gserved" -addr 127.0.0.1:0 -cachedir "$smoketmp/cache" \
+    >"$smoketmp/out.log" 2>&1 &
+smokepid=$!
+
+# The daemon prints "gserved: listening on <addr>" as its startup
+# handshake; wait for it (5s budget).
+addr=""
+i=0
+while [ $i -lt 50 ]; do
+    addr=$(sed -n 's/^gserved: listening on //p' "$smoketmp/out.log")
+    [ -n "$addr" ] && break
+    kill -0 "$smokepid" 2>/dev/null || break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$addr" ]; then
+    echo "gserved did not start:" >&2
+    cat "$smoketmp/out.log" >&2
+    exit 1
+fi
+
+code=$(curl -s -o "$smoketmp/job.json" -w '%{http_code}' \
+    -X POST "http://$addr/v1/jobs?wait=1" \
+    -d '{"workload":"gaussian","scale":1}')
+if [ "$code" != 200 ]; then
+    echo "gserved submit: HTTP $code" >&2
+    cat "$smoketmp/job.json" >&2
+    exit 1
+fi
+grep -q '"state":"done"' "$smoketmp/job.json" || {
+    echo "gserved job did not finish:" >&2
+    cat "$smoketmp/job.json" >&2
+    exit 1
+}
+grep -q '"Cycles"' "$smoketmp/job.json" || {
+    echo "gserved response carries no stats:" >&2
+    cat "$smoketmp/job.json" >&2
+    exit 1
+}
+
+code=$(curl -s -o "$smoketmp/statusz.json" -w '%{http_code}' "http://$addr/statusz")
+if [ "$code" != 200 ]; then
+    echo "gserved statusz: HTTP $code" >&2
+    exit 1
+fi
+grep -q '"accepted":1' "$smoketmp/statusz.json" || {
+    echo "gserved statusz does not count the job:" >&2
+    cat "$smoketmp/statusz.json" >&2
+    exit 1
+}
+
+# SIGTERM must drain and exit 0 within 10s.
+kill -TERM "$smokepid"
+i=0
+while [ $i -lt 100 ]; do
+    kill -0 "$smokepid" 2>/dev/null || break
+    sleep 0.1
+    i=$((i + 1))
+done
+if kill -0 "$smokepid" 2>/dev/null; then
+    echo "gserved did not exit within 10s of SIGTERM" >&2
+    exit 1
+fi
+rc=0
+wait "$smokepid" || rc=$?
+smokepid=""
+if [ "$rc" != 0 ]; then
+    echo "gserved drain exited $rc:" >&2
+    cat "$smoketmp/out.log" >&2
+    exit 1
+fi
+grep -q '^gserved: drained' "$smoketmp/out.log" || {
+    echo "gserved did not report a clean drain:" >&2
+    cat "$smoketmp/out.log" >&2
+    exit 1
+}
 
 echo "ok"
