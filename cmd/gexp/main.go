@@ -23,12 +23,46 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
 	"gpushare/internal/harness"
 	"gpushare/internal/runner"
 )
+
+// startCPUProfile begins CPU profiling to path; the returned stop must
+// run before exit for the profile to be complete.
+func startCPUProfile(path string) func() {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gexp: -cpuprofile: %v\n", err)
+		os.Exit(1)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "gexp: -cpuprofile: %v\n", err)
+		os.Exit(1)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}
+}
+
+// writeMemProfile dumps the post-GC heap to path.
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "gexp: -memprofile: %v\n", err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		fmt.Fprintf(os.Stderr, "gexp: -memprofile: %v\n", err)
+		os.Exit(1)
+	}
+}
 
 func main() {
 	var (
@@ -43,8 +77,19 @@ func main() {
 		cacheDir = flag.String("cachedir", "", "on-disk result cache directory, reused across runs ('' disables)")
 		invar    = flag.Int64("invariants", 0, "audit simulator invariants every N cycles (0 disables; audited runs cache separately)")
 		strict   = flag.Bool("strict", false, "abort on the first failed simulation instead of rendering a zeroed cell with its diagnosis")
+		smw      = flag.Int("smworkers", 1, "cycle-engine workers inside each simulation (0 = GOMAXPROCS; results identical at any value — with -j parallelism, 1 avoids oversubscription)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		stop := startCPUProfile(*cpuProf)
+		defer stop()
+	}
+	if *memProf != "" {
+		defer writeMemProfile(*memProf)
+	}
 
 	if *list {
 		fmt.Println(strings.Join(harness.IDs(), "\n"))
@@ -68,6 +113,7 @@ func main() {
 	s.CacheDir = *cacheDir
 	s.InvariantStride = *invar
 	s.SoftFail = !*strict
+	s.SMWorkers = *smw
 	s.Ctx = ctx
 	if *verbose {
 		s.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	httppprof "net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,11 +51,36 @@ func main() {
 		deadline = flag.Duration("maxdeadline", 10*time.Minute, "cap on client-requested job deadlines")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful drain deadline after SIGTERM")
 		verify   = flag.Bool("verify", false, "re-check functional outputs after fresh simulations")
+		smw      = flag.Int("smworkers", 1, "cycle-engine workers inside each simulation (0 = GOMAXPROCS; 1 avoids oversubscribing a busy farm; results identical at any value)")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; '' disables). Kept off the job API listener so profiling is never exposed with the service port")
 	)
 	flag.Parse()
 
+	// The profiling endpoint gets its own mux and listener: the job API
+	// must be exposable without also exposing /debug/pprof.
+	if *pprofA != "" {
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", httppprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httppprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httppprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httppprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httppprof.Trace)
+		pln, err := net.Listen("tcp", *pprofA)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "gserved: -pprof: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("gserved: pprof on http://%s/debug/pprof/\n", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "gserved: pprof: %v\n", err)
+			}
+		}()
+	}
+
 	srv := server.New(server.Options{
 		Workers:          *workers,
+		SMWorkers:        *smw,
 		QueueDepth:       *queue,
 		MaxBodyBytes:     *maxBody,
 		MaxInFlightBytes: *maxBytes,

@@ -16,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"runtime"
+	"runtime/pprof"
 	"syscall"
 
 	"gpushare/internal/config"
@@ -42,8 +44,31 @@ func main() {
 		verify   = flag.Bool("verify", true, "check functional outputs after the run")
 		showOcc  = flag.Bool("occupancy", false, "print the occupancy plan and exit")
 		cacheDir = flag.String("cachedir", "", "on-disk result cache directory: identical runs are served from cache ('' disables; ignored with -trace)")
+		smw      = flag.Int("smworkers", 0, "cycle-engine workers (0 = GOMAXPROCS, 1 = sequential; results identical at any value)")
+		noFF     = flag.Bool("noff", false, "disable the idle fast-forward (debugging; results identical either way)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		fatal(err)
+		fatal(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			fatal(err)
+			defer f.Close()
+			runtime.GC()
+			fatal(pprof.WriteHeapProfile(f))
+		}()
+	}
 
 	if *list {
 		for _, s := range workloads.All() {
@@ -72,6 +97,8 @@ func main() {
 	fatal(err)
 	cfg.TraceInterval = *trace
 	cfg.InvariantStride = *invar
+	cfg.SMWorkers = *smw
+	cfg.NoFastForward = *noFF
 
 	sim, err := gpu.New(cfg)
 	fatal(err)

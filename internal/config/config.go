@@ -234,6 +234,27 @@ type Config struct {
 	// SM issues an instruction for this many consecutive cycles. 0 uses
 	// the built-in default (500k cycles).
 	ProgressWindow int64
+
+	// SMWorkers sets the cycle engine's worker-pool size: each cycle the
+	// per-SM Tick calls fan out across this many goroutines behind a
+	// cycle barrier. 0 uses GOMAXPROCS, 1 forces the sequential in-line
+	// path. Results are bit-identical for every worker count (SM-to-
+	// memory traffic is staged per SM and merged in SM-index order), so
+	// SMWorkers is an engine knob, not a simulation parameter: it is
+	// excluded from the canonical configuration and cached results are
+	// shared across worker counts.
+	SMWorkers int `json:"-"`
+
+	// NoFastForward disables the idle fast-forward: normally, when no SM
+	// can issue (every warp is waiting on memory, writebacks, or
+	// barriers) the cycle loop jumps straight to the next pending-event
+	// horizon instead of burning empty cycles. The jump is exact —
+	// skipped cycles contribute their per-cycle statistics and every
+	// stride-aligned duty (invariant audits, traces, cancellation polls,
+	// the watchdog) still happens at its original cycle — so this too is
+	// an engine knob excluded from the canonical configuration; it
+	// exists for determinism regression tests and debugging.
+	NoFastForward bool `json:"-"`
 }
 
 // Default returns the Table I baseline configuration.
@@ -345,6 +366,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("InvariantStride must be non-negative, got %d", c.InvariantStride)
 	case c.ProgressWindow < 0:
 		return fmt.Errorf("ProgressWindow must be non-negative, got %d", c.ProgressWindow)
+	case c.SMWorkers < 0:
+		return fmt.Errorf("SMWorkers must be non-negative, got %d", c.SMWorkers)
 	case c.Sched > SchedOWF:
 		return fmt.Errorf("unknown scheduling policy %d", c.Sched)
 	case c.Sharing > ShareScratchpad:

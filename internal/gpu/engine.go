@@ -1,0 +1,120 @@
+package gpu
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"gpushare/internal/smcore"
+)
+
+// cycleEngine advances the SM array one cycle at a time, either inline
+// (workers == 1, the exact sequential order the simulator has always
+// used) or fanned across a pool of persistent worker goroutines with a
+// barrier per cycle.
+//
+// Parallel cycles are bit-identical to sequential ones: during the
+// parallel phase every SM is confined to its own state (plus read-only
+// global memory and its private reply port), with stores and outgoing
+// line requests staged per SM; after the barrier the engine flushes the
+// staging buffers in ascending SM index, reproducing the sequential
+// engine's interconnect arrival order exactly. See DESIGN.md.
+type cycleEngine struct {
+	sms     []*smcore.SM
+	workers int
+
+	// Per-SM results for the current cycle. Each index is written by
+	// exactly one worker and read by the main goroutine after the
+	// barrier, so no further synchronization is needed.
+	issued []bool
+	errs   []error
+
+	start chan int64 // one token per worker per cycle
+	wg    sync.WaitGroup
+	next  atomic.Int64 // work-stealing SM index cursor
+	once  sync.Once
+}
+
+// newCycleEngine builds the engine. workers <= 0 selects GOMAXPROCS;
+// the pool is capped at the SM count. With a single worker the engine
+// is a plain loop and spawns nothing.
+func newCycleEngine(sms []*smcore.SM, workers int) *cycleEngine {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(sms) {
+		workers = len(sms)
+	}
+	e := &cycleEngine{sms: sms, workers: workers}
+	if workers > 1 {
+		e.issued = make([]bool, len(sms))
+		e.errs = make([]error, len(sms))
+		e.start = make(chan int64)
+		for _, sm := range sms {
+			sm.SetStaged(true)
+		}
+		for w := 0; w < workers; w++ {
+			go e.worker()
+		}
+	}
+	return e
+}
+
+func (e *cycleEngine) worker() {
+	for now := range e.start {
+		for {
+			i := int(e.next.Add(1)) - 1
+			if i >= len(e.sms) {
+				break
+			}
+			issued, err := e.sms[i].Tick(now)
+			e.issued[i] = issued
+			e.errs[i] = err
+		}
+		e.wg.Done()
+	}
+}
+
+// tick runs one cycle across all SMs and reports whether any issued an
+// instruction. On error the lowest-index SM's error is returned (the
+// same one the sequential engine would surface first).
+func (e *cycleEngine) tick(now int64) (bool, error) {
+	if e.workers <= 1 {
+		any := false
+		for _, sm := range e.sms {
+			issued, err := sm.Tick(now)
+			if err != nil {
+				return false, err
+			}
+			any = any || issued
+		}
+		return any, nil
+	}
+	e.next.Store(0)
+	e.wg.Add(e.workers)
+	for w := 0; w < e.workers; w++ {
+		e.start <- now
+	}
+	e.wg.Wait()
+	any := false
+	for i := range e.sms {
+		if e.errs[i] != nil {
+			return false, e.errs[i]
+		}
+		any = any || e.issued[i]
+	}
+	// Post-barrier merge: publish staged stores and line requests in
+	// ascending SM order — the sequential interleaving.
+	for _, sm := range e.sms {
+		sm.FlushMem(now)
+	}
+	return any, nil
+}
+
+// close shuts the worker pool down. Safe to call multiple times and on
+// a sequential engine.
+func (e *cycleEngine) close() {
+	if e.start != nil {
+		e.once.Do(func() { close(e.start) })
+	}
+}

@@ -179,9 +179,29 @@ func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) 
 	}
 
 	dyn := newDynController(&s.Cfg, sms)
-	var pending []pendingLaunch
-	var lastIssued int64
+	var pending launchQueue
 	lastProgress := int64(0)
+
+	// Engine selection: a fault plan shares mutable state across SMs, so
+	// fault-injection runs stay on the exact sequential path.
+	workers := s.Cfg.SMWorkers
+	if s.Faults != nil {
+		workers = 1
+	}
+	eng := newCycleEngine(sms, workers)
+	defer eng.close()
+
+	// Idle fast-forward (see DESIGN.md): after a quiet cycle — no issue,
+	// no launch — one more cycle is simulated normally as the "model"
+	// frozen cycle, then the identical cycles up to the event horizon are
+	// applied arithmetically. Disabled under dynamic warp execution (the
+	// issue gate consumes per-attempt randomness, so no cycle is ever
+	// provably frozen), under fault injection, and by Config.NoFastForward.
+	ffOK := !s.Cfg.DynWarp && s.Faults == nil && !s.Cfg.NoFastForward
+	tracing := s.Trace != nil && s.Cfg.TraceInterval > 0
+	var ffSnap []stats.SM
+	ffJumpTo := int64(-1) // >= 0: current cycle is the model cycle; jump target
+	ffRetryAt := int64(0) // damping: no arm attempt before this cycle
 
 	var now int64
 	for now = 0; ; now++ {
@@ -192,13 +212,12 @@ func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) 
 		if now&(cancelStride-1) == 0 && ctx.Err() != nil {
 			return nil, simerr.Wrap(simerr.KindCanceled, now, ctx.Err())
 		}
-		for _, sm := range sms {
-			if err := sm.Tick(now); err != nil {
-				if se, ok := simerr.As(err); ok && se.Dump == nil {
-					se.Dump = invariant.BuildDump(now, sms, s.ms)
-				}
-				return nil, err
+		anyIssued, err := eng.tick(now)
+		if err != nil {
+			if se, ok := simerr.As(err); ok && se.Dump == nil {
+				se.Dump = invariant.BuildDump(now, sms, s.ms)
 			}
+			return nil, err
 		}
 		s.ms.Tick(now)
 
@@ -207,9 +226,9 @@ func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) 
 		}
 
 		// Refill completed block slots after the CTA dispatch latency.
-		for len(pending) > 0 && pending[0].at <= now {
-			p := pending[0]
-			pending = pending[1:]
+		launched := false
+		for pending.len() > 0 && pending.front().at <= now {
+			p := pending.pop()
 			if nextCTA < totalBlocks {
 				if err := sms[p.sm].LaunchBlock(p.slot, nextCTA); err != nil {
 					se := simerr.Wrap(simerr.KindInvariant, now, err)
@@ -218,11 +237,12 @@ func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) 
 					return nil, se
 				}
 				nextCTA++
+				launched = true
 			}
 		}
 		for si, sm := range sms {
 			for _, slot := range sm.FinishedSlots() {
-				pending = append(pending, pendingLaunch{
+				pending.push(pendingLaunch{
 					sm: si, slot: slot, at: now + int64(s.Cfg.CTALaunchLat),
 				})
 			}
@@ -230,12 +250,12 @@ func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) 
 
 		dyn.maybeAdjust(now)
 
-		if s.Trace != nil && s.Cfg.TraceInterval > 0 && now%s.Cfg.TraceInterval == 0 {
+		if tracing && now%s.Cfg.TraceInterval == 0 {
 			s.traceSnapshot(now, sms, nextCTA, launch.GridDim)
 		}
 
 		// Completion: every CTA dispatched and every SM drained.
-		if nextCTA >= totalBlocks && len(pending) == 0 {
+		if nextCTA >= totalBlocks && pending.len() == 0 {
 			done := true
 			for _, sm := range sms {
 				if !sm.Idle() {
@@ -248,18 +268,54 @@ func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) 
 			}
 		}
 
-		// Deadlock detection.
-		var issued int64
-		for _, sm := range sms {
-			issued += sm.Stats.WarpInstrs
-		}
-		if issued != lastIssued {
-			lastIssued = issued
+		// Deadlock detection: forward progress is an SM issuing an
+		// instruction, reported directly by the engine (equivalent to
+		// the old per-cycle sum over every SM's WarpInstrs, which only
+		// changed when an SM issued).
+		if anyIssued {
 			lastProgress = now
 		} else if now-lastProgress > window {
 			return nil, s.hangError(simerr.KindWatchdog, now, sms,
 				fmt.Sprintf("kernel %s: no instruction issued for %d cycles (deadlock?)",
 					launch.Kernel.Name, window))
+		}
+
+		// Idle fast-forward.
+		if ffJumpTo >= 0 {
+			// This was the model cycle. If it stayed quiet (guaranteed
+			// by the horizon; checked for robustness), replay its
+			// counter delta over the skipped cycles and jump.
+			h := ffJumpTo
+			ffJumpTo = -1
+			if !anyIssued && !launched {
+				if skip := h - now - 1; skip > 0 {
+					for i := range sms {
+						sms[i].Stats.ScaleForward(&ffSnap[i], skip)
+					}
+					now += skip // loop increment lands on cycle h
+				}
+			}
+		} else if ffOK && !anyIssued && !launched && now >= ffRetryAt {
+			// Quiet cycle: if no event can land before cycle h, cycles
+			// now+1 .. h-1 are all identical to the next one. Arm a
+			// model cycle when at least one cycle would be skipped.
+			// When the horizon is too close to pay for itself, damp:
+			// nothing the skip could have exploited happens before h,
+			// so don't recompute the horizon until then (quiet cycles
+			// under heavy memory traffic would otherwise pay the
+			// horizon walk every cycle for no jump).
+			h := s.eventHorizon(now, sms, &pending, stride, tracing, lastProgress, window, maxCycles)
+			if h > now+2 {
+				if ffSnap == nil {
+					ffSnap = make([]stats.SM, len(sms))
+				}
+				for i, sm := range sms {
+					ffSnap[i] = sm.Stats
+				}
+				ffJumpTo = h
+			} else {
+				ffRetryAt = h
+			}
 		}
 	}
 
@@ -308,11 +364,48 @@ func (s *Sim) traceSnapshot(now int64, sms []*smcore.SM, nextCTA, grid int) {
 		now, nextCTA, grid, active, instrs, stalls, idles)
 }
 
-// pendingLaunch is a block relaunch waiting out the CTA dispatch latency.
-type pendingLaunch struct {
-	sm   int
-	slot int
-	at   int64
+// eventHorizon computes the idle fast-forward jump target from cycle
+// now: the earliest future cycle at which anything can happen. Inputs
+// are the memory system's next event (interconnect deliveries, pending
+// L2 hits, DRAM completions and schedulable commands), each SM's next
+// local event (writeback deadlines, LSU busy release), the next pending
+// block launch, and the exact-cycle obligations the jump must not skip
+// over: context polls, invariant audits, trace snapshots, the watchdog
+// deadline, and the MaxCycles abort. Because nothing can change state
+// strictly before the returned cycle, skipping those cycles is exact,
+// not approximate.
+func (s *Sim) eventHorizon(now int64, sms []*smcore.SM, pending *launchQueue,
+	stride int64, tracing bool, lastProgress, window, maxCycles int64) int64 {
+	h := s.ms.NextEvent(now)
+	if h <= now+2 {
+		return h // too close to arm; skip the per-SM walk
+	}
+	for _, sm := range sms {
+		if at := sm.NextLocalEvent(now); at < h {
+			h = at
+		}
+	}
+	if pending.len() > 0 {
+		if at := pending.front().at; at < h {
+			h = at
+		}
+	}
+	bound := func(at int64) {
+		if at > now && at < h {
+			h = at
+		}
+	}
+	bound((now/cancelStride + 1) * cancelStride)
+	if stride > 0 {
+		bound((now/stride + 1) * stride)
+	}
+	if tracing {
+		ti := int64(s.Cfg.TraceInterval)
+		bound((now/ti + 1) * ti)
+	}
+	bound(lastProgress + window + 1) // the cycle the watchdog would fire
+	bound(maxCycles)
+	return h
 }
 
 // dynController implements §IV-C: every DynPeriod cycles each SMi (i>0)

@@ -1,0 +1,56 @@
+package gpu
+
+import "testing"
+
+// TestLaunchQueue exercises the pending-launch ring through growth and
+// wraparound: FIFO order must hold while the head walks around the
+// buffer arbitrarily many times.
+func TestLaunchQueue(t *testing.T) {
+	var q launchQueue
+	if q.len() != 0 {
+		t.Fatalf("fresh queue len = %d", q.len())
+	}
+
+	// Interleave pushes and pops so the head wraps repeatedly while the
+	// occupancy oscillates across the initial capacity and one growth.
+	next, expect := 0, 0
+	push := func(n int) {
+		for i := 0; i < n; i++ {
+			q.push(pendingLaunch{sm: next % 14, slot: next % 8, at: int64(next)})
+			next++
+		}
+	}
+	pop := func(n int) {
+		t.Helper()
+		for i := 0; i < n; i++ {
+			if q.len() == 0 {
+				t.Fatalf("queue empty, expected entry %d", expect)
+			}
+			if got := q.front(); got.at != int64(expect) {
+				t.Fatalf("front().at = %d, want %d", got.at, expect)
+			}
+			p := q.pop()
+			if p.at != int64(expect) || p.sm != expect%14 || p.slot != expect%8 {
+				t.Fatalf("pop() = %+v, want entry %d", p, expect)
+			}
+			expect++
+		}
+	}
+
+	push(3)
+	pop(2)
+	push(20) // forces growth past the initial 16 with a wrapped head
+	pop(10)
+	push(40) // second growth while non-contiguous
+	pop(51)  // drain completely
+	if q.len() != 0 {
+		t.Fatalf("drained queue len = %d", q.len())
+	}
+
+	// Refill after a full drain: the ring must reuse its storage.
+	push(5)
+	pop(5)
+	if q.len() != 0 {
+		t.Fatalf("len = %d after final drain", q.len())
+	}
+}

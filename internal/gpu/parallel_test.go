@@ -1,0 +1,159 @@
+package gpu
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gpushare/internal/config"
+	"gpushare/internal/stats"
+	"gpushare/internal/workloads"
+)
+
+// runWorkload builds a fresh simulator, executes the named workload at
+// the given scale, verifies its functional outputs, and returns the run
+// statistics.
+func runWorkload(tb testing.TB, name string, cfg config.Config, scale int) *stats.GPU {
+	tb.Helper()
+	spec, err := workloads.ByName(name)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	sim, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	inst := spec.Build(scale)
+	inst.Setup(sim.Mem)
+	g, err := sim.Run(inst.Launch)
+	if err != nil {
+		tb.Fatalf("%s: %v", name, err)
+	}
+	if inst.Check != nil {
+		if err := inst.Check(sim.Mem); err != nil {
+			tb.Fatalf("%s: functional check: %v", name, err)
+		}
+	}
+	return g
+}
+
+// engineCases are the workload/config pairs the engine-determinism
+// tests sweep: sharing-heavy configurations on both sharing modes (the
+// paths with the most cross-SM coupling through locks and ownership
+// transfer) plus an unshared scheduler for the plain path.
+var engineCases = []struct {
+	name     string
+	workload string
+	slow     bool // skipped in -short mode (minutes under -race)
+	cfg      func() config.Config
+}{
+	{"hotspot/reg-sharing-owf", "hotspot", true, func() config.Config {
+		cfg := config.Default()
+		cfg.Sharing, cfg.T = config.ShareRegisters, 0.1
+		cfg.Sched = config.SchedOWF
+		return cfg
+	}},
+	{"CONV2/smem-sharing-lrr", "CONV2", false, func() config.Config {
+		cfg := config.Default()
+		cfg.Sharing, cfg.T = config.ShareScratchpad, 0.1
+		return cfg
+	}},
+	{"gaussian/unshared-gto", "gaussian", false, func() config.Config {
+		cfg := config.Default()
+		cfg.Sched = config.SchedGTO
+		return cfg
+	}},
+}
+
+// TestEngineDeterminism is the tentpole's correctness contract: the
+// parallel cycle engine and the idle fast-forward are engine knobs, not
+// simulation parameters. Every (SMWorkers, NoFastForward) combination
+// must produce statistics deep-equal — and, via the canonical JSON
+// encoding, byte-identical — to the reference sequential engine with
+// fast-forward disabled (the seed's exact cycle-by-cycle path).
+func TestEngineDeterminism(t *testing.T) {
+	variants := []struct {
+		name    string
+		workers int
+		noFF    bool
+	}{
+		{"workers=1 ff=on", 1, false},
+		{"workers=gomaxprocs ff=on", 0, false},
+		{"workers=2 ff=off", 2, true},
+	}
+	for _, c := range engineCases {
+		t.Run(c.name, func(t *testing.T) {
+			if c.slow && testing.Short() {
+				t.Skip("simulation-heavy")
+			}
+			refCfg := c.cfg()
+			refCfg.SMWorkers = 1
+			refCfg.NoFastForward = true
+			ref := runWorkload(t, c.workload, refCfg, 1)
+			refJSON, err := ref.EncodeJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, v := range variants {
+				t.Run(v.name, func(t *testing.T) {
+					cfg := c.cfg()
+					cfg.SMWorkers = v.workers
+					cfg.NoFastForward = v.noFF
+					g := runWorkload(t, c.workload, cfg, 1)
+					if !reflect.DeepEqual(ref, g) {
+						t.Errorf("stats diverge from sequential reference:\n--- reference\n%s--- variant\n%s",
+							ref.Report(), g.Report())
+					}
+					j, err := g.EncodeJSON()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if string(j) != string(refJSON) {
+						t.Error("canonical JSON encoding differs from sequential reference")
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestEngineWorkersValidation: a negative worker count is a
+// configuration error, not a silent fallback.
+func TestEngineWorkersValidation(t *testing.T) {
+	cfg := config.Default()
+	cfg.SMWorkers = -1
+	if _, err := New(cfg); err == nil {
+		t.Fatal("SMWorkers=-1 accepted")
+	}
+}
+
+// BenchmarkRunParallelSMs measures end-to-end wall-clock for a full
+// sharing-mode simulation at several engine worker counts; the speedup
+// of workers=8 over workers=1 is the tentpole's headline number
+// (tools/bench.sh compares it against BENCH_baseline.json).
+func BenchmarkRunParallelSMs(b *testing.B) {
+	for _, w := range []int{1, 2, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := config.Default()
+			cfg.Sharing, cfg.T = config.ShareRegisters, 0.1
+			cfg.Sched = config.SchedOWF
+			cfg.SMWorkers = w
+			spec, err := workloads.ByName("hotspot")
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sim, err := New(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				inst := spec.Build(1)
+				inst.Setup(sim.Mem)
+				if _, err := sim.Run(inst.Launch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

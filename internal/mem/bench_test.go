@@ -1,0 +1,34 @@
+package mem
+
+import (
+	"testing"
+
+	"gpushare/internal/config"
+)
+
+// BenchmarkMemSystemTick measures one memory-system cycle under a
+// steady stream of read traffic: each iteration injects one read from a
+// rotating SM at a striding line address (so DRAM banks, L2 sets, and
+// both interconnect directions stay busy), ticks the system once, and
+// drains any ready replies.
+func BenchmarkMemSystemTick(b *testing.B) {
+	cfg := config.Default()
+	s := NewSystem(&cfg)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var now int64
+	addr := uint32(0)
+	for i := 0; i < b.N; i++ {
+		sm := int(now) % cfg.NumSMs
+		s.Send(&LineRequest{LineAddr: addr, SM: sm}, now)
+		addr += uint32(cfg.L1LineSz)
+		if addr >= 1<<24 {
+			addr = 0
+		}
+		s.Tick(now)
+		for p := 0; p < cfg.NumSMs; p++ {
+			s.PopReply(p, now)
+		}
+		now++
+	}
+}

@@ -5,6 +5,9 @@
 package dram
 
 import (
+	"math"
+	"sync"
+
 	"gpushare/internal/config"
 	"gpushare/internal/stats"
 )
@@ -18,6 +21,20 @@ type Request struct {
 	Done    int64 // completion cycle, set by the scheduler
 }
 
+// reqPool recycles Requests: at one allocation per memory access the
+// request churn dominated the simulator's steady-state garbage.
+var reqPool = sync.Pool{New: func() any { return new(Request) }}
+
+// GetRequest returns a zeroed Request from the pool.
+func GetRequest() *Request { return reqPool.Get().(*Request) }
+
+// PutRequest returns a Request to the pool. The caller must not retain
+// the pointer afterwards.
+func PutRequest(r *Request) {
+	*r = Request{}
+	reqPool.Put(r)
+}
+
 type bank struct {
 	openRow      int64 // -1 = closed
 	readyAt      int64 // earliest next column command
@@ -29,6 +46,7 @@ type Channel struct {
 	banks    []bank
 	queue    []*Request
 	inflight []*Request
+	doneBuf  []*Request // reused across Ticks to keep completion collection alloc-free
 	timing   config.DRAMTiming
 	rowBytes int64
 	dataLat  int64
@@ -68,21 +86,61 @@ func (c *Channel) Pending() int { return len(c.queue) + len(c.inflight) }
 
 // Tick advances the channel one cycle: it may start one column command
 // (FR-FCFS: row hits first, then oldest) and returns any requests whose
-// data transfer completed this cycle.
+// data transfer completed this cycle. The returned slice is reused by
+// the next Tick, so the caller must consume it before ticking again.
 func (c *Channel) Tick(now int64) []*Request {
 	c.scheduleOne(now)
-	var done []*Request
+	done := c.doneBuf[:0]
 	for i := 0; i < len(c.inflight); {
 		r := c.inflight[i]
 		if r.Done <= now {
 			done = append(done, r)
 			c.inflight[i] = c.inflight[len(c.inflight)-1]
+			c.inflight[len(c.inflight)-1] = nil
 			c.inflight = c.inflight[:len(c.inflight)-1]
 			continue
 		}
 		i++
 	}
+	c.doneBuf = done
 	return done
+}
+
+// NextEvent returns the earliest future cycle at which the channel's
+// state can change absent new enqueues: the soonest in-flight completion
+// or the soonest cycle any queued request becomes schedulable under the
+// current (frozen) bank state. Returns math.MaxInt64 when the channel is
+// empty. Exact, not merely conservative: bank state only changes when a
+// command is scheduled, so between now and the returned cycle every Tick
+// is a no-op.
+func (c *Channel) NextEvent(now int64) int64 {
+	next := int64(math.MaxInt64)
+	clamp := func(at int64) {
+		if at <= now {
+			at = now + 1
+		}
+		if at < next {
+			next = at
+		}
+	}
+	for _, r := range c.inflight {
+		clamp(r.Done)
+	}
+	for _, r := range c.queue {
+		b := &c.banks[c.bankOf(r.Addr)]
+		at := r.Arrive
+		if b.readyAt > at {
+			at = b.readyAt
+		}
+		if b.openRow != c.rowOf(r.Addr) {
+			// Needs an activate, gated by the row-cycle time.
+			if t := b.lastActivate + int64(c.timing.TRC); t > at {
+				at = t
+			}
+		}
+		clamp(at)
+	}
+	return next
 }
 
 func (c *Channel) scheduleOne(now int64) {

@@ -37,10 +37,18 @@ func (g *Global) page(addr uint32) []byte {
 }
 
 // Load32 reads a little-endian 32-bit word. Unaligned addresses are
-// clamped to word alignment (our ISA is word-oriented).
+// clamped to word alignment (our ISA is word-oriented). Reading an
+// untouched page returns zero without materializing it, which keeps the
+// load path free of map writes: the parallel cycle engine lets every SM
+// read global memory concurrently during a cycle (stores are staged per
+// SM and applied between cycles), and that is only race-free because
+// loads never mutate the page table.
 func (g *Global) Load32(addr uint32) uint32 {
 	a := addr &^ 3
-	p := g.page(a)
+	p, ok := g.pages[a>>pageBits]
+	if !ok {
+		return 0
+	}
 	o := a & (pageSize - 1)
 	return uint32(p[o]) | uint32(p[o+1])<<8 | uint32(p[o+2])<<16 | uint32(p[o+3])<<24
 }

@@ -1,6 +1,8 @@
 package mem
 
 import (
+	"sync"
+
 	"gpushare/internal/config"
 	"gpushare/internal/mem/cache"
 	"gpushare/internal/mem/dram"
@@ -16,16 +18,33 @@ type LineRequest struct {
 	SM       int
 }
 
+// lineReqPool recycles LineRequests. Reads are returned to the pool by
+// the SM that consumes the reply; writes are returned by System.Tick
+// when the DRAM write completes (writes carry no reply). Requests
+// dropped by fault injection are deliberately never recycled.
+var lineReqPool = sync.Pool{New: func() any { return new(LineRequest) }}
+
+// GetLineRequest returns a zeroed LineRequest from the pool.
+func GetLineRequest() *LineRequest { return lineReqPool.Get().(*LineRequest) }
+
+// PutLineRequest returns a LineRequest to the pool. The caller must not
+// retain the pointer afterwards.
+func PutLineRequest(r *LineRequest) {
+	*r = LineRequest{}
+	lineReqPool.Put(r)
+}
+
 type delayedReply struct {
 	at  int64
 	req *LineRequest
 }
 
 type partition struct {
-	l2      *cache.Cache
-	mshr    map[uint32][]*LineRequest
-	dram    *dram.Channel
-	pending []delayedReply // L2 hits serving their hit latency
+	l2       *cache.Cache
+	mshr     map[uint32][]*LineRequest
+	dram     *dram.Channel
+	pending  []delayedReply // L2 hits serving their hit latency
+	pendHead int            // consumed prefix of pending (reset when drained)
 }
 
 // System is the global-memory timing model: an SM-to-partition request
@@ -91,7 +110,10 @@ func (s *System) Tick(now int64) {
 		// DRAM command scheduling and completions.
 		for _, done := range p.dram.Tick(now) {
 			req := done.Tag.(*LineRequest)
-			if done.IsWrite {
+			isWrite := done.IsWrite
+			dram.PutRequest(done)
+			if isWrite {
+				PutLineRequest(req) // writes carry no reply
 				continue
 			}
 			p.l2.Fill(req.LineAddr)
@@ -101,10 +123,18 @@ func (s *System) Tick(now int64) {
 				s.toSM.Push(w.SM, w, now)
 			}
 		}
-		// L2 hits that finished their hit latency.
-		for len(p.pending) > 0 && p.pending[0].at <= now {
-			s.toSM.Push(p.pending[0].req.SM, p.pending[0].req, now)
-			p.pending = p.pending[1:]
+		// L2 hits that finished their hit latency. pending is consumed
+		// via a head index instead of re-slicing so the backing array is
+		// reused once fully drained.
+		for p.pendHead < len(p.pending) && p.pending[p.pendHead].at <= now {
+			d := &p.pending[p.pendHead]
+			s.toSM.Push(d.req.SM, d.req, now)
+			d.req = nil
+			p.pendHead++
+		}
+		if p.pendHead == len(p.pending) {
+			p.pending = p.pending[:0]
+			p.pendHead = 0
 		}
 	}
 }
@@ -119,7 +149,7 @@ func (s *System) receive(p *partition, req *LineRequest, now int64) {
 		if p.l2.Probe(req.LineAddr) {
 			p.l2.Fill(req.LineAddr)
 		}
-		p.dram.Enqueue(&dram.Request{Addr: req.LineAddr, IsWrite: true, Tag: req, Arrive: missAt})
+		p.dram.Enqueue(newDRAMReq(req.LineAddr, true, req, missAt))
 		return
 	}
 	if p.l2.Probe(req.LineAddr) {
@@ -132,7 +162,41 @@ func (s *System) receive(p *partition, req *LineRequest, now int64) {
 		return
 	}
 	p.mshr[req.LineAddr] = []*LineRequest{req}
-	p.dram.Enqueue(&dram.Request{Addr: req.LineAddr, IsWrite: false, Tag: req, Arrive: missAt})
+	p.dram.Enqueue(newDRAMReq(req.LineAddr, false, req, missAt))
+}
+
+func newDRAMReq(addr uint32, isWrite bool, tag *LineRequest, arrive int64) *dram.Request {
+	r := dram.GetRequest()
+	r.Addr, r.IsWrite, r.Tag, r.Arrive = addr, isWrite, tag, arrive
+	return r
+}
+
+// NextEvent returns the earliest future cycle (> now) at which the
+// memory system could change state or deliver a reply, assuming no new
+// requests are injected, or math.MaxInt64 if it is fully drained. The
+// idle fast-forward uses this as one input to its jump horizon: every
+// Tick strictly between now and the returned cycle is a no-op, so
+// skipping those cycles is exact.
+func (s *System) NextEvent(now int64) int64 {
+	next := s.toMem.NextReady(now)
+	if at := s.toSM.NextReady(now); at < next {
+		next = at
+	}
+	for _, p := range s.partitions {
+		if p.pendHead < len(p.pending) {
+			at := p.pending[p.pendHead].at
+			if at <= now {
+				at = now + 1
+			}
+			if at < next {
+				next = at
+			}
+		}
+		if at := p.dram.NextEvent(now); at < next {
+			next = at
+		}
+	}
+	return next
 }
 
 // Drained reports whether no requests remain anywhere in the system.
@@ -141,7 +205,7 @@ func (s *System) Drained() bool {
 		return false
 	}
 	for _, p := range s.partitions {
-		if len(p.mshr) > 0 || len(p.pending) > 0 || p.dram.Pending() > 0 {
+		if len(p.mshr) > 0 || len(p.pending)-p.pendHead > 0 || p.dram.Pending() > 0 {
 			return false
 		}
 	}
@@ -169,7 +233,7 @@ func (s *System) ForEachInFlightRead(f func(req *LineRequest)) {
 				f(w)
 			}
 		}
-		for _, d := range p.pending {
+		for _, d := range p.pending[p.pendHead:] {
 			f(d.req)
 		}
 	}
@@ -180,7 +244,7 @@ func (s *System) Depths() (toMem, toSM, l2MSHR, l2Pending, dramQueued int) {
 	toMem, toSM = s.toMem.Pending(), s.toSM.Pending()
 	for _, p := range s.partitions {
 		l2MSHR += len(p.mshr)
-		l2Pending += len(p.pending)
+		l2Pending += len(p.pending) - p.pendHead
 		dramQueued += p.dram.Pending()
 	}
 	return

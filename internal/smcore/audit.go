@@ -73,17 +73,19 @@ func (sm *SM) AuditScoreboard(now int64) error {
 			coveredP[ws] |= preds
 		}
 	}
-	for at, evs := range sm.wbQueue {
-		if at <= now {
-			return fmt.Errorf("SM%d: writeback event scheduled for cycle %d never fired (now %d)", sm.ID, at, now)
+	var staleAt int64 = -1
+	sm.wb.forEach(func(at int64, ev *wbEvent) {
+		if at <= now && staleAt < 0 {
+			staleAt = at
 		}
-		for _, ev := range evs {
-			if ev.group != nil {
-				cover(ev.group.warpSlot, ev.group.gen, ev.group.regMask, 0)
-				continue
-			}
-			cover(ev.warpSlot, ev.gen, ev.regMask, ev.predMask)
+		if ev.group != nil {
+			cover(ev.group.warpSlot, ev.group.gen, ev.group.regMask, 0)
+			return
 		}
+		cover(ev.warpSlot, ev.gen, ev.regMask, ev.predMask)
+	})
+	if staleAt >= 0 {
+		return fmt.Errorf("SM%d: writeback event scheduled for cycle %d never fired (now %d)", sm.ID, staleAt, now)
 	}
 	for _, groups := range sm.mshr {
 		for _, g := range groups {
@@ -148,9 +150,7 @@ func (sm *SM) Forensics(now int64) simerr.SMDump {
 		DynProb:      sm.dynProb,
 		MSHRLines:    len(sm.mshr),
 	}
-	for _, evs := range sm.wbQueue {
-		d.PendingWB += len(evs)
-	}
+	d.PendingWB = sm.wb.count
 	for ws := range sm.warps {
 		wc := &sm.warps[ws]
 		if !wc.live {

@@ -1,0 +1,89 @@
+package smcore
+
+import (
+	"testing"
+
+	"gpushare/internal/config"
+	"gpushare/internal/core"
+	"gpushare/internal/isa"
+	"gpushare/internal/kernel"
+	"gpushare/internal/mem"
+)
+
+// benchKernel is a steady-state mix of global loads, arithmetic, and a
+// global store per thread — enough memory traffic to keep the LSU, L1
+// MSHRs, and writeback queue busy without finishing instantly.
+func benchKernel() *kernel.Kernel {
+	b := kernel.NewBuilder("bench", 64)
+	b.Params(2).SetRegs(12)
+	const (
+		rGid, rIn, rOut, rA, rV, rT, rJ = 10, 11, 9, 0, 1, 2, 3
+	)
+	b.IMad(rGid, isa.Sreg(isa.SrCtaid), isa.Sreg(isa.SrNtid), isa.Sreg(isa.SrTid))
+	b.LdParam(rIn, 0)
+	b.LdParam(rOut, 1)
+	b.Shl(rT, isa.Reg(rGid), isa.Imm(2))
+	b.IAdd(rIn, isa.Reg(rIn), isa.Reg(rT))
+	b.IAdd(rOut, isa.Reg(rOut), isa.Reg(rT))
+	b.MovI(rJ, 0)
+	b.MovF(rV, 0)
+	b.Label("loop")
+	b.LdG(rA, isa.Reg(rIn), 0)
+	b.FFma(rV, isa.Reg(rA), isa.Reg(rA), isa.Reg(rV))
+	b.FAdd(rV, isa.Reg(rV), isa.Reg(rA))
+	b.IAdd(rJ, isa.Reg(rJ), isa.Imm(1))
+	b.Setp(isa.CmpLT, 0, isa.Reg(rJ), isa.Imm(8))
+	b.BraIf(0, false, "loop", "done")
+	b.Label("done")
+	b.StG(isa.Reg(rOut), 0, isa.Reg(rV))
+	b.Exit()
+	return b.MustBuild()
+}
+
+// tickSM isolates the Tick call so the benchmark body reads as one
+// cycle of work.
+func tickSM(sm *SM, now int64) error {
+	_, err := sm.Tick(now)
+	return err
+}
+
+// BenchmarkSMTick measures one SM-plus-memory cycle in steady state:
+// every iteration is one Tick of a fully occupied SM (completed blocks
+// are relaunched immediately, so the SM never drains).
+func BenchmarkSMTick(b *testing.B) {
+	cfg := config.Default()
+	k := benchKernel()
+	ms := mem.NewSystem(&cfg)
+	nThreads := 1 << 22
+	in := ms.Global.Alloc(4 * nThreads)
+	out := ms.Global.Alloc(4 * nThreads)
+	l := &kernel.Launch{Kernel: k, GridDim: 1 << 16, Params: []uint32{in, out}}
+	occ := core.ComputeOccupancy(&cfg, k)
+	sm, err := New(0, &cfg, l, occ, ms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	next := 0
+	for slot := 0; slot < occ.Max; slot++ {
+		if err := sm.LaunchBlock(slot, next); err != nil {
+			b.Fatal(err)
+		}
+		next++
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var now int64
+	for i := 0; i < b.N; i++ {
+		if err := tickSM(sm, now); err != nil {
+			b.Fatal(err)
+		}
+		ms.Tick(now)
+		for _, slot := range sm.FinishedSlots() {
+			if err := sm.LaunchBlock(slot, next%l.GridDim); err != nil {
+				b.Fatal(err)
+			}
+			next++
+		}
+		now++
+	}
+}

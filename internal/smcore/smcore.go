@@ -87,13 +87,23 @@ type SM struct {
 	mshr     map[uint32][]*loadGroup
 	memSys   *mem.System
 	faults   *fault.Plan
-	wbQueue  map[int64][]wbEvent
+	wb       wbWheel
 	lsuBusy  int64 // LSU blocked until this cycle (bank conflicts)
 	sfuBusy  int64
 	dynProb  float64
 	rng      uint64
 	nextDyn  int64
 	finished []int // block slots that completed this cycle
+
+	// free lists: load groups and MSHR waiter slices are recycled within
+	// the SM (single-threaded per SM, so no synchronization needed).
+	groupFree []*loadGroup
+	mshrFree  [][]*loadGroup
+
+	// parallel-engine staging (see staging.go)
+	staged bool
+	outbox []outboundLine
+	gmem   gmemProxy
 
 	// futureShared[pc], when non-nil, is false iff no instruction
 	// reachable from pc touches the shared register pool — the early-
@@ -131,10 +141,10 @@ func New(id int, cfg *config.Config, l *kernel.Launch, occ core.Occupancy, ms *m
 		l1:            cache.NewWithPolicy(cfg.L1Sets, cfg.L1Ways, cfg.L1LineSz, cfg.L1Policy),
 		mshr:          make(map[uint32][]*loadGroup),
 		memSys:        ms,
-		wbQueue:       make(map[int64][]wbEvent),
 		dynProb:       1,
 		rng:           cfg.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15,
 	}
+	sm.gmem.base = ms.Global
 	if cfg.DynWarp && id == 0 {
 		// SM0 is the reference SM: non-owner memory instructions are
 		// disabled on it (§IV-C).
@@ -250,7 +260,7 @@ func (sm *SM) LaunchBlock(slot, ctaID int) error {
 		BlockDim:  k.BlockDim,
 		BlockDimY: k.BlockDimY,
 		Params:    sm.launch.Params,
-		Gmem:      sm.memSys.Global,
+		Gmem:      &sm.gmem,
 		Smem:      b.smem,
 	}
 	threadsLeft := k.Threads()
@@ -296,4 +306,17 @@ func (sm *SM) rand64() uint64 {
 // randFloat returns a uniform float in [0,1).
 func (sm *SM) randFloat() float64 {
 	return float64(sm.rand64()>>11) / (1 << 53)
+}
+
+// allocGroup takes a loadGroup from the SM's free list (or allocates
+// one). Groups are returned by completeGroupPart when their last line
+// retires; groups stranded by an injected fault are deliberately leaked.
+func (sm *SM) allocGroup(ws, remaining int, regMask uint64, gen uint32) *loadGroup {
+	if n := len(sm.groupFree); n > 0 {
+		g := sm.groupFree[n-1]
+		sm.groupFree = sm.groupFree[:n-1]
+		*g = loadGroup{warpSlot: ws, remaining: remaining, regMask: regMask, gen: gen}
+		return g
+	}
+	return &loadGroup{warpSlot: ws, remaining: remaining, regMask: regMask, gen: gen}
 }

@@ -44,7 +44,7 @@ func runToCompletion(t *testing.T, sm *SM, ms *mem.System, maxCycles int64) int6
 		if now > maxCycles {
 			t.Fatalf("SM did not finish within %d cycles", maxCycles)
 		}
-		if err := sm.Tick(now); err != nil {
+		if _, err := sm.Tick(now); err != nil {
 			t.Fatal(err)
 		}
 		ms.Tick(now)
@@ -266,7 +266,7 @@ func TestDynGateBlocksNonOwnerMemOnSM0(t *testing.T) {
 	}
 	var now int64
 	for now = 0; !sm.Idle() && now < 200000; now++ {
-		if err := sm.Tick(now); err != nil {
+		if _, err := sm.Tick(now); err != nil {
 			t.Fatal(err)
 		}
 		ms.Tick(now)

@@ -24,12 +24,16 @@ import (
 // had already issued its work and was only waiting for results ("all
 // the available warps are issued, but no warp is ready to execute") or
 // had nothing to run at all.
-func (sm *SM) Tick(now int64) error {
+//
+// The boolean result reports whether any scheduler issued an
+// instruction this cycle; the engine's watchdog and idle fast-forward
+// key off it (an SM only makes forward progress by issuing).
+func (sm *SM) Tick(now int64) (bool, error) {
 	sm.drainReplies(now)
 	sm.processWritebacks(now)
 
 	if sm.Idle() {
-		return nil
+		return false, nil
 	}
 	sm.Stats.Cycles++
 
@@ -45,7 +49,7 @@ func (sm *SM) Tick(now int64) error {
 		for _, slot := range order {
 			ok, blocked, err := sm.tryIssue(slot, now, &memUsed, &sfuUsed)
 			if err != nil {
-				return err
+				return false, err
 			}
 			if ok {
 				sc.Issued(slot)
@@ -70,7 +74,7 @@ func (sm *SM) Tick(now int64) error {
 			sm.Stats.BarrierWaits++
 		}
 	}
-	return nil
+	return issued > 0, nil
 }
 
 // buildInfo assembles the scheduler view of one scheduler's warps.
@@ -242,7 +246,7 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int, er
 		sm.lsuBusy = now + int64(deg-1)
 		if in.Op == isa.LDS {
 			lat := int64(sm.cfg.SmemLat + deg - 1)
-			sm.scheduleWB(now+lat, ws, wc.gen, 1<<in.Dst.Reg, 0, nil)
+			sm.scheduleWB(now, now+lat, ws, wc.gen, 1<<in.Dst.Reg, 0, nil)
 			wc.pendingRegs |= 1 << in.Dst.Reg
 		}
 	case in.Op == isa.LDG:
@@ -269,7 +273,7 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int, er
 		if regs != 0 || preds != 0 {
 			wc.pendingRegs |= regs
 			wc.pendingPreds |= preds
-			sm.scheduleWB(now+lat, ws, wc.gen, regs, preds, nil)
+			sm.scheduleWB(now, now+lat, ws, wc.gen, regs, preds, nil)
 		}
 	}
 
@@ -288,19 +292,19 @@ func (sm *SM) issueGlobalLoad(ws int, wc *warpCtx, in *isa.Instr, res warp.Resul
 	sm.Stats.CoalescedAccess += int64(len(lines))
 	if len(lines) == 0 { // fully guarded off
 		wc.pendingRegs |= dstMask
-		sm.scheduleWB(now+1, ws, wc.gen, dstMask, 0, nil)
+		sm.scheduleWB(now, now+1, ws, wc.gen, dstMask, 0, nil)
 		return
 	}
 	wc.pendingRegs |= dstMask
 	wc.loadRegs |= dstMask
-	group := &loadGroup{warpSlot: ws, remaining: len(lines), regMask: dstMask, gen: wc.gen}
+	group := sm.allocGroup(ws, len(lines), dstMask, wc.gen)
 	for _, line := range lines {
 		if sm.cfg.L1Disable {
 			sm.sendOrMerge(line, group, now)
 			continue
 		}
 		if sm.l1.Probe(line) {
-			sm.scheduleWB(now+int64(sm.cfg.L1HitLat), ws, wc.gen, 0, 0, group)
+			sm.scheduleWB(now, now+int64(sm.cfg.L1HitLat), ws, wc.gen, 0, 0, group)
 			continue
 		}
 		sm.sendOrMerge(line, group, now)
@@ -315,8 +319,13 @@ func (sm *SM) sendOrMerge(line uint32, group *loadGroup, now int64) {
 		sm.mshr[line] = append(waiters, group)
 		return
 	}
-	sm.mshr[line] = []*loadGroup{group}
-	sm.memSys.Send(&mem.LineRequest{LineAddr: line, SM: sm.ID}, now)
+	var waiters []*loadGroup
+	if n := len(sm.mshrFree); n > 0 { // recycle a drained waiter slice
+		waiters = sm.mshrFree[n-1]
+		sm.mshrFree = sm.mshrFree[:n-1]
+	}
+	sm.mshr[line] = append(waiters, group)
+	sm.sendLine(line, false, now)
 }
 
 // issueGlobalStore applies the write-evict L1 policy and forwards write
@@ -330,51 +339,69 @@ func (sm *SM) issueGlobalStore(res warp.Result, now int64) {
 			sm.l1.Probe(line)
 			sm.l1.Invalidate(line)
 		}
-		sm.memSys.Send(&mem.LineRequest{LineAddr: line, IsWrite: true, SM: sm.ID}, now)
+		sm.sendLine(line, true, now)
 	}
 }
 
-// scheduleWB enqueues a writeback event.
-func (sm *SM) scheduleWB(at int64, ws int, gen uint32, regs uint64, preds uint8, group *loadGroup) {
-	sm.wbQueue[at] = append(sm.wbQueue[at], wbEvent{
+// scheduleWB enqueues a writeback event on the timing wheel.
+func (sm *SM) scheduleWB(now, at int64, ws int, gen uint32, regs uint64, preds uint8, group *loadGroup) {
+	sm.wb.schedule(now, at, wbEvent{
 		warpSlot: ws, gen: gen, regMask: regs, predMask: preds, group: group,
 	})
 }
 
 // processWritebacks retires the events scheduled for this cycle.
 func (sm *SM) processWritebacks(now int64) {
-	evs, ok := sm.wbQueue[now]
-	if !ok {
-		return
+	i := now & (wbWheelSize - 1)
+	if len(sm.wb.slots[i]) > 0 && sm.wb.slotAt[i] == now {
+		evs := sm.wb.slots[i]
+		sm.wb.count -= len(evs)
+		for k := range evs {
+			sm.retireWB(&evs[k])
+		}
+		sm.wb.slots[i] = evs[:0] // reuse the bucket's backing array
 	}
-	delete(sm.wbQueue, now)
-	for _, ev := range evs {
-		if ev.group != nil {
-			sm.completeGroupPart(ev.group)
-			continue
+	if len(sm.wb.overflow) > 0 {
+		if evs, ok := sm.wb.overflow[now]; ok {
+			delete(sm.wb.overflow, now)
+			sm.wb.count -= len(evs)
+			for k := range evs {
+				sm.retireWB(&evs[k])
+			}
 		}
-		wc := &sm.warps[ev.warpSlot]
-		if wc.gen != ev.gen {
-			continue // slot was recycled; the event belongs to a dead warp
-		}
-		wc.pendingRegs &^= ev.regMask
-		wc.pendingPreds &^= ev.predMask
 	}
 }
 
+// retireWB applies one writeback event.
+func (sm *SM) retireWB(ev *wbEvent) {
+	if ev.group != nil {
+		sm.completeGroupPart(ev.group)
+		return
+	}
+	wc := &sm.warps[ev.warpSlot]
+	if wc.gen != ev.gen {
+		return // slot was recycled; the event belongs to a dead warp
+	}
+	wc.pendingRegs &^= ev.regMask
+	wc.pendingPreds &^= ev.predMask
+}
+
 // completeGroupPart retires one line of a load group, clearing the
-// destination scoreboard bits when the last line lands.
+// destination scoreboard bits when the last line lands and recycling the
+// group once no references to it remain.
 func (sm *SM) completeGroupPart(g *loadGroup) {
 	g.remaining--
 	if g.remaining > 0 {
 		return
 	}
 	wc := &sm.warps[g.warpSlot]
-	if wc.gen != g.gen {
-		return
+	if wc.gen == g.gen {
+		wc.pendingRegs &^= g.regMask
+		wc.loadRegs &^= g.regMask
 	}
-	wc.pendingRegs &^= g.regMask
-	wc.loadRegs &^= g.regMask
+	// remaining counted the outstanding references (MSHR waiters and
+	// queued writebacks); at zero the group is unreachable and reusable.
+	sm.groupFree = append(sm.groupFree, g)
 }
 
 // drainReplies pulls at most one memory reply per cycle (reply-network
@@ -396,6 +423,10 @@ func (sm *SM) drainReplies(now int64) {
 	for _, g := range groups {
 		sm.completeGroupPart(g)
 	}
+	if groups != nil {
+		sm.mshrFree = append(sm.mshrFree, groups[:0])
+	}
+	mem.PutLineRequest(req)
 }
 
 // checkBarrier releases the block's barrier once every unfinished warp
@@ -445,7 +476,7 @@ func (sm *SM) FinalizeStats() {
 // PendingWork reports whether the SM still has in-flight writebacks or
 // outstanding memory requests (used for end-of-run draining assertions).
 func (sm *SM) PendingWork() bool {
-	return len(sm.wbQueue) > 0 || len(sm.mshr) > 0
+	return sm.wb.count > 0 || len(sm.mshr) > 0
 }
 
 // rfConflictCycles returns the extra operand-read cycles caused by

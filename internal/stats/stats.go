@@ -38,6 +38,37 @@ type SM struct {
 	CoalescedAccess int64 // global-memory line transactions generated
 }
 
+// ScaleForward adds k extra copies of this SM's counter deltas relative
+// to base (a snapshot taken one cycle earlier). The engine's idle
+// fast-forward uses it: when the whole machine is provably frozen until
+// a known future cycle, one representative cycle is simulated normally
+// and its per-cycle counter delta is replayed arithmetically for the
+// skipped cycles, so every cumulative counter matches a cycle-by-cycle
+// run exactly. Non-cumulative fields (MaxResidentTB, DynProbFinal)
+// cannot change during a frozen cycle and are left untouched.
+func (s *SM) ScaleForward(base *SM, k int64) {
+	s.Cycles += (s.Cycles - base.Cycles) * k
+	s.WarpInstrs += (s.WarpInstrs - base.WarpInstrs) * k
+	s.ThreadInstrs += (s.ThreadInstrs - base.ThreadInstrs) * k
+	s.StallCycles += (s.StallCycles - base.StallCycles) * k
+	s.IdleCycles += (s.IdleCycles - base.IdleCycles) * k
+	s.BlockScoreboard += (s.BlockScoreboard - base.BlockScoreboard) * k
+	s.BlockUnit += (s.BlockUnit - base.BlockUnit) * k
+	s.BlockLockWait += (s.BlockLockWait - base.BlockLockWait) * k
+	s.BlockDynGate += (s.BlockDynGate - base.BlockDynGate) * k
+	s.BlockMemPipe += (s.BlockMemPipe - base.BlockMemPipe) * k
+	s.BlocksLaunched += (s.BlocksLaunched - base.BlocksLaunched) * k
+	s.BlocksShared += (s.BlocksShared - base.BlocksShared) * k
+	s.OwnershipXfers += (s.OwnershipXfers - base.OwnershipXfers) * k
+	s.EarlyRegRelease += (s.EarlyRegRelease - base.EarlyRegRelease) * k
+	s.LockAcquires += (s.LockAcquires - base.LockAcquires) * k
+	s.BarrierWaits += (s.BarrierWaits - base.BarrierWaits) * k
+	s.SharedRegWaits += (s.SharedRegWaits - base.SharedRegWaits) * k
+	s.SharedMemWaits += (s.SharedMemWaits - base.SharedMemWaits) * k
+	s.BankConflicts += (s.BankConflicts - base.BankConflicts) * k
+	s.CoalescedAccess += (s.CoalescedAccess - base.CoalescedAccess) * k
+}
+
 // Cache holds hit/miss counters for one cache.
 type Cache struct {
 	Accesses int64

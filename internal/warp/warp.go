@@ -80,6 +80,14 @@ type State struct {
 	preds [kernel.MaxPredRegs]uint32
 
 	nregs int
+
+	// Scratch address buffers handed out via Result.GlobalAddrs /
+	// SharedAddrs. The core consumes a Result before this warp executes
+	// again, so reusing them is safe and removes a 128-byte allocation
+	// per memory instruction. Lanes outside Result.Active hold stale
+	// values, which Result already documents as invalid.
+	gaddrs [kernel.WarpSize]uint32
+	saddrs [kernel.WarpSize]uint32
 }
 
 // NewState allocates warp state for a kernel with nregs registers per
@@ -286,7 +294,7 @@ func (w *State) Execute(in *isa.Instr, env *Env) (Result, error) {
 		}
 
 	case isa.LDG, isa.STG:
-		addrs := new([kernel.WarpSize]uint32)
+		addrs := &w.gaddrs
 		for lane := 0; lane < kernel.WarpSize; lane++ {
 			if active&(1<<lane) == 0 {
 				continue
@@ -311,7 +319,7 @@ func (w *State) Execute(in *isa.Instr, env *Env) (Result, error) {
 		res.GlobalAddrs = addrs
 
 	case isa.LDS, isa.STS:
-		addrs := new([kernel.WarpSize]uint32)
+		addrs := &w.saddrs
 		for lane := 0; lane < kernel.WarpSize; lane++ {
 			if active&(1<<lane) == 0 {
 				continue

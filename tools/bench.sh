@@ -1,0 +1,93 @@
+#!/bin/sh
+# Microbenchmark runner and perf-regression gate.
+#
+#     ./tools/bench.sh            # run benches, gate allocs/op against
+#                                 # BENCH_baseline.json, report the
+#                                 # parallel-engine speedup
+#     ./tools/bench.sh -quick     # smoke mode for check.sh: fewer
+#                                 # iterations, same allocs/op gate
+#     ./tools/bench.sh -record    # rewrite BENCH_baseline.json from the
+#                                 # current run
+#
+# The gate is allocation counts, not wall time: allocs/op is stable
+# across machines and load, so check.sh can fail hard on a regression.
+# ns/op and the workers=1 vs workers=8 speedup are reported for humans.
+set -eu
+
+cd "$(dirname "$0")/.."
+baseline=BENCH_baseline.json
+
+mode="${1-}"
+microtime="2s"
+e2etime="3x"
+if [ "$mode" = "-quick" ]; then
+    microtime="1000x"
+    e2etime="1x"
+fi
+
+out=$(mktemp)
+trap 'rm -f "$out"' EXIT
+
+echo "== microbenchmarks (smcore SM tick, mem system tick)"
+go test -run '^$' -bench 'BenchmarkSMTick$|BenchmarkMemSystemTick$' \
+    -benchmem -benchtime "$microtime" ./internal/smcore/ ./internal/mem/ | tee "$out"
+
+echo "== end-to-end parallel engine (full hotspot simulation per op)"
+go test -run '^$' -bench 'BenchmarkRunParallelSMs' \
+    -benchmem -benchtime "$e2etime" -timeout 30m ./internal/gpu/ | tee -a "$out"
+
+# Normalize "BenchmarkFoo-8  N  ns/op  B/op  allocs/op" lines into
+# "name ns b allocs" rows.
+rows=$(awk '/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name)
+    printf "%s %s %s %s\n", name, $3, $5, $7
+}' "$out")
+
+if [ "$mode" = "-record" ]; then
+    {
+        echo '{'
+        echo '  "comment": "Microbenchmark baseline recorded by tools/bench.sh -record. check.sh and bench.sh compare current allocs/op against these numbers.",'
+        echo "  \"goos\": \"$(go env GOOS)\","
+        echo "  \"goarch\": \"$(go env GOARCH)\","
+        echo '  "benchmarks": {'
+        echo "$rows" | awk '{
+            printf "%s    \"%s\": {\"ns_op\": %d, \"b_op\": %d, \"allocs_op\": %d}",
+                (NR > 1 ? ",\n" : ""), $1, $2, $3, $4
+        }'
+        echo ''
+        echo '  }'
+        echo '}'
+    } >"$baseline"
+    echo "recorded $(echo "$rows" | wc -l | tr -d ' ') benchmarks to $baseline"
+    exit 0
+fi
+
+# Allocation gate: every benchmark present in the baseline must not
+# allocate more per op than it did when the baseline was recorded.
+fail=0
+for name in $(echo "$rows" | awk '{print $1}'); do
+    base=$(sed -n "s|.*\"$name\": {[^}]*\"allocs_op\": \([0-9]*\).*|\1|p" "$baseline")
+    [ -n "$base" ] || continue
+    cur=$(echo "$rows" | awk -v n="$name" '$1 == n {print $4}')
+    if [ "$cur" -gt "$base" ]; then
+        echo "FAIL: $name allocs/op regressed: $cur > baseline $base" >&2
+        fail=1
+    else
+        echo "ok:   $name allocs/op $cur (baseline $base)"
+    fi
+done
+
+# Parallel-engine speedup, for humans (not gated: wall time depends on
+# machine and load; the determinism tests gate correctness instead).
+echo "$rows" | awk '
+    $1 == "BenchmarkRunParallelSMs/workers=1" { w1 = $2 }
+    $1 == "BenchmarkRunParallelSMs/workers=8" { w8 = $2 }
+    END { if (w1 > 0 && w8 > 0)
+        printf "parallel engine: workers=8 is %.2fx faster than workers=1\n", w1 / w8 }
+'
+ncpu=$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 1)
+if [ "$ncpu" -lt 2 ]; then
+    echo "note: only $ncpu CPU online — parallel speedup is not measurable here (expect ~1.0x; the workers=8 number validates barrier overhead, not scaling)"
+fi
+
+exit $fail

@@ -36,6 +36,12 @@ go test -race $short ./internal/runner/ ./internal/harness/
 echo "== go test -race (server saturation + drain, client retries)"
 go test -race $short ./internal/server/ ./internal/client/
 
+echo "== go test -race (parallel cycle engine determinism)"
+go test -race $short -run 'TestEngineDeterminism|TestLaunchQueue' ./internal/gpu/
+
+echo "== benchmark smoke + allocs/op gate (tools/bench.sh -quick)"
+./tools/bench.sh -quick
+
 echo "== fuzz smoke (asm parser, ISA evaluator)"
 go test -fuzz=FuzzAssemble -fuzztime=10s ./internal/asm/
 go test -fuzz=FuzzEval -fuzztime=10s ./internal/isa/
