@@ -255,6 +255,16 @@ type Config struct {
 	// an engine knob excluded from the canonical configuration; it
 	// exists for determinism regression tests and debugging.
 	NoFastForward bool `json:"-"`
+
+	// NoSnapshot disables the event-driven warp-snapshot cache and the
+	// incremental scheduler ready sets: every cycle rebuilds every
+	// scheduler view from scratch (operand walks, sort-based ranking),
+	// exactly the pre-ready-set issue path. The snapshot engine is
+	// proven bit-identical to the recompute path, so like SMWorkers and
+	// NoFastForward this is an engine knob excluded from the canonical
+	// configuration; it exists as a determinism escape hatch
+	// (GPUSHARE_NOSNAPSHOT=1) and for the equivalence regression tests.
+	NoSnapshot bool `json:"-"`
 }
 
 // Default returns the Table I baseline configuration.

@@ -76,6 +76,11 @@ type Manager struct {
 	// CorruptLeaseRelease opportunity.
 	Faults *fault.Plan
 
+	// epoch counts ownership changes across all pairs. Warp categories
+	// depend only on pair ownership, so a cached Category is valid as
+	// long as the epoch it was computed under is still current.
+	epoch uint64
+
 	// Statistics.
 	LockAcquires   int64
 	OwnershipXfers int64
@@ -185,6 +190,7 @@ func (m *Manager) TryAcquireReg(slot, warpInCta int) bool {
 			m.OwnershipXfers++
 		}
 		p.Owner = side
+		m.epoch++
 	}
 	return true
 }
@@ -222,6 +228,7 @@ func (m *Manager) TryAcquireSmem(slot int) bool {
 			m.OwnershipXfers++
 		}
 		p.Owner = side
+		m.epoch++
 	}
 	return true
 }
@@ -364,5 +371,24 @@ func (m *Manager) BlockFinished(slot int, partnerLive bool) {
 		} else {
 			p.Owner = noSide
 		}
+		m.epoch++
 	}
+}
+
+// Epoch returns the ownership epoch: it advances whenever any pair's
+// owner changes, so callers caching per-slot categories can compare
+// epochs instead of re-deriving categories every cycle.
+func (m *Manager) Epoch() uint64 {
+	if m == nil {
+		return 0
+	}
+	return m.epoch
+}
+
+// RegLockNeededStatic is the metadata-table variant of RegNeedsLock:
+// touchesShared is the precomputed "instruction reaches the shared
+// register pool" bit, so the per-issue check is two loads and no
+// operand walk.
+func (m *Manager) RegLockNeededStatic(slot int, touchesShared bool) bool {
+	return m.Mode == config.ShareRegisters && touchesShared && m.Shared(slot)
 }

@@ -22,6 +22,7 @@ const (
 	DropMemReply             // discard a memory reply at SM ejection: the load never completes
 	CorruptLeaseRelease      // release a shared-register lease without fixing the active-lock count
 	SkipBarrierArrival       // a warp parks at a barrier without being counted as arrived
+	StaleSnapshot            // skip a warp-snapshot invalidation: the scheduler keeps ranking on stale state
 )
 
 func (k Kind) String() string {
@@ -32,6 +33,8 @@ func (k Kind) String() string {
 		return "corrupt-lease-release"
 	case SkipBarrierArrival:
 		return "skip-barrier-arrival"
+	case StaleSnapshot:
+		return "stale-snapshot"
 	}
 	return "none"
 }

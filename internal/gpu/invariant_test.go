@@ -35,6 +35,10 @@ func loadIncKernel(t *testing.T) *kernel.Kernel {
 // leaseKernel is register-hungry enough to form sharing pairs; every
 // warp acquires the pair lock at its first r10 access and releases it on
 // completion, giving the lease-corruption fault plenty of opportunities.
+// Warp 0 finishes long before the rest of its block (the other warps
+// chase a chain of dependent global loads), so a corrupted release
+// leaves the pair's lease accounting inconsistent for hundreds of
+// cycles while the block is still live — spanning many audit strides.
 func leaseKernel(t *testing.T) *kernel.Kernel {
 	t.Helper()
 	b := kernel.NewBuilder("lease", 256)
@@ -42,6 +46,13 @@ func leaseKernel(t *testing.T) *kernel.Kernel {
 	b.MovI(10, 1)
 	for i := 0; i < 60; i++ {
 		b.IAdd(10, isa.Reg(10), isa.Imm(1))
+	}
+	b.Mov(0, isa.Sreg(isa.SrTid))
+	b.Setp(isa.CmpGE, 0, isa.Reg(0), isa.Imm(32))
+	b.MovI(1, 0)
+	for i := 0; i < 3; i++ {
+		b.Guard(0, false)
+		b.LdG(1, isa.Reg(1), 0)
 	}
 	b.Exit()
 	return b.MustBuild()
@@ -91,6 +102,22 @@ func TestFaultInjectionCaughtByInvariants(t *testing.T) {
 				cfg.NumSMs = 2
 				cfg.Sharing = config.ShareRegisters
 				cfg.T = 0.1
+				cfg.InvariantStride = 32
+				sim := MustNew(cfg)
+				return sim, &kernel.Launch{Kernel: leaseKernel(t), GridDim: 16}
+			},
+		},
+		{
+			// The ready-set engine's own fault: a warp finishes but its
+			// cached scheduler snapshot is not invalidated, so the
+			// scheduler keeps ranking it as having work. The snapshot
+			// auditor must catch the skipped invalidation. leaseKernel's
+			// staggered warp completion keeps the block (and the stale
+			// view) live across many audit strides.
+			name: "stale-snapshot", kind: fault.StaleSnapshot, seed: 5,
+			setup: func(t *testing.T) (*Sim, *kernel.Launch) {
+				cfg := config.Default()
+				cfg.NumSMs = 2
 				cfg.InvariantStride = 32
 				sim := MustNew(cfg)
 				return sim, &kernel.Launch{Kernel: leaseKernel(t), GridDim: 16}

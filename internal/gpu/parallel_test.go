@@ -76,10 +76,16 @@ func TestEngineDeterminism(t *testing.T) {
 		name    string
 		workers int
 		noFF    bool
+		noSnap  bool
 	}{
-		{"workers=1 ff=on", 1, false},
-		{"workers=gomaxprocs ff=on", 0, false},
-		{"workers=2 ff=off", 2, true},
+		{"workers=1 ff=on", 1, false, false},
+		{"workers=gomaxprocs ff=on", 0, false, false},
+		{"workers=2 ff=off", 2, true, false},
+		// NoSnapshot disables the ready-set engine's cached warp
+		// snapshots and incremental rankings; the recompute path must
+		// stay bit-identical (the reference runs with snapshots on).
+		{"workers=1 ff=on nosnapshot", 1, false, true},
+		{"workers=2 ff=off nosnapshot", 2, true, true},
 	}
 	for _, c := range engineCases {
 		t.Run(c.name, func(t *testing.T) {
@@ -99,6 +105,7 @@ func TestEngineDeterminism(t *testing.T) {
 					cfg := c.cfg()
 					cfg.SMWorkers = v.workers
 					cfg.NoFastForward = v.noFF
+					cfg.NoSnapshot = v.noSnap
 					g := runWorkload(t, c.workload, cfg, 1)
 					if !reflect.DeepEqual(ref, g) {
 						t.Errorf("stats diverge from sequential reference:\n--- reference\n%s--- variant\n%s",

@@ -105,13 +105,20 @@ func smemKernel(t *testing.T, smemBytes int) *kernel.Kernel {
 
 func TestRegisterSharingOccupancyAndCorrectness(t *testing.T) {
 	k := regHeavyKernel(t, 40)
+	// Deepen the ALU pipeline so the kernel is latency-bound at the
+	// baseline's 3-block occupancy: at the default depth a correct
+	// round-robin scheduler already hides the dependency chains with 24
+	// resident warps, leaving sharing nothing to improve.
+	const aluDepth = 24
 	base := config.Default()
+	base.SPLat = aluDepth
 	baseSim := MustNew(base)
 	if occ := baseSim.Occupancy(k); occ.Baseline != 3 || occ.Max != 3 {
 		t.Fatalf("baseline occupancy = %+v, want 3/3", occ)
 	}
 
 	shared := config.Default()
+	shared.SPLat = aluDepth
 	shared.Sharing = config.ShareRegisters
 	shared.T = 0.1
 	shared.Sched = config.SchedOWF

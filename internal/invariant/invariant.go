@@ -26,8 +26,9 @@ const (
 	ClassScoreboard                   // pending bits have in-flight producers
 	ClassSIMT                         // reconvergence stack well-formedness
 	ClassMemory                       // request conservation across queues
+	ClassSnapshot                     // cached warp snapshots and ready sets match a recompute
 
-	ClassAll = ClassSharing | ClassBarrier | ClassScoreboard | ClassSIMT | ClassMemory
+	ClassAll = ClassSharing | ClassBarrier | ClassScoreboard | ClassSIMT | ClassMemory | ClassSnapshot
 )
 
 // String names the classes in a mask, for error messages.
@@ -39,6 +40,7 @@ func (c Class) String() string {
 	}{
 		{ClassSharing, "sharing"}, {ClassBarrier, "barrier"},
 		{ClassScoreboard, "scoreboard"}, {ClassSIMT, "simt"}, {ClassMemory, "memory"},
+		{ClassSnapshot, "snapshot"},
 	} {
 		if c&e.bit != 0 {
 			parts = append(parts, e.name)
@@ -116,6 +118,11 @@ func (c *Checker) auditSM(sm *smcore.SM, now int64) error {
 	}
 	if c.classes&ClassSIMT != 0 {
 		if err := sm.AuditSIMT(); err != nil {
+			return err
+		}
+	}
+	if c.classes&ClassSnapshot != 0 {
+		if err := sm.AuditSnapshots(); err != nil {
 			return err
 		}
 	}

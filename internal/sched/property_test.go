@@ -1,0 +1,186 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"gpushare/internal/config"
+	"gpushare/internal/core"
+)
+
+// randViews builds a randomized warp set with interleaved (non-contiguous)
+// slot numbers, unique dynamic ids, and mixed categories — the shape a
+// scheduler actually sees when an SM splits its warps across schedulers.
+func randViews(rng *rand.Rand, n int, nextDyn *int64) []WarpInfo {
+	ws := make([]WarpInfo, n)
+	for i := range ws {
+		ws[i] = WarpInfo{
+			Slot:     i*2 + 1, // interleaved: slot numbers are not positions
+			HasWork:  rng.Intn(4) != 0,
+			DynID:    *nextDyn,
+			Category: core.Category(rng.Intn(3)),
+		}
+		*nextDyn++
+	}
+	return ws
+}
+
+// mutate applies one random view change and returns the changed entry.
+func mutate(rng *rand.Rand, ws []WarpInfo, nextDyn *int64) WarpInfo {
+	i := rng.Intn(len(ws))
+	switch rng.Intn(3) {
+	case 0:
+		ws[i].HasWork = !ws[i].HasWork
+	case 1:
+		ws[i].DynID = *nextDyn // a relaunched slot gets a fresh, unique id
+		*nextDyn++
+	default:
+		ws[i].Category = core.Category(rng.Intn(3))
+	}
+	return ws[i]
+}
+
+func readySlot(rng *rand.Rand, ws []WarpInfo) int {
+	ready := make([]int, 0, len(ws))
+	for i := range ws {
+		if ws[i].HasWork {
+			ready = append(ready, ws[i].Slot)
+		}
+	}
+	if len(ready) == 0 {
+		return -1
+	}
+	return ready[rng.Intn(len(ready))]
+}
+
+// TestOrderIsPermutationOfReadySlots: for every policy, under random
+// views and issue histories, Order emits each HasWork slot exactly once
+// and nothing else.
+func TestOrderIsPermutationOfReadySlots(t *testing.T) {
+	policies := []struct {
+		name string
+		pol  config.SchedPolicy
+	}{
+		{"lrr", config.SchedLRR}, {"gto", config.SchedGTO},
+		{"two-level", config.SchedTwoLevel}, {"owf", config.SchedOWF},
+	}
+	for _, p := range policies {
+		t.Run(p.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(42))
+			var nextDyn int64
+			for trial := 0; trial < 50; trial++ {
+				s := New(p.pol, 4)
+				ws := randViews(rng, 1+rng.Intn(12), &nextDyn)
+				for step := 0; step < 20; step++ {
+					mutate(rng, ws, &nextDyn)
+					order := s.Order(ws, nil)
+					seen := map[int]bool{}
+					for _, slot := range order {
+						if seen[slot] {
+							t.Fatalf("%s: duplicate slot %d in %v", p.name, slot, order)
+						}
+						seen[slot] = true
+					}
+					nReady := 0
+					for i := range ws {
+						if ws[i].HasWork {
+							nReady++
+							if !seen[ws[i].Slot] {
+								t.Fatalf("%s: ready slot %d missing from %v", p.name, ws[i].Slot, order)
+							}
+						}
+					}
+					if len(order) != nReady {
+						t.Fatalf("%s: order %v has %d entries, want %d ready", p.name, order, len(order), nReady)
+					}
+					if slot := readySlot(rng, ws); slot >= 0 && rng.Intn(2) == 0 {
+						s.Issued(slot)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestOWFPartitionProperty: OWF's ranking is always partitioned owner ≤
+// unshared ≤ non-owner, regardless of issue history — the greedy hoist
+// may reorder within a category but never across one.
+func TestOWFPartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var nextDyn int64
+	catOf := func(ws []WarpInfo, slot int) core.Category {
+		for i := range ws {
+			if ws[i].Slot == slot {
+				return ws[i].Category
+			}
+		}
+		t.Fatalf("slot %d not in views", slot)
+		return 0
+	}
+	for trial := 0; trial < 100; trial++ {
+		s := New(config.SchedOWF, 0)
+		ws := randViews(rng, 1+rng.Intn(12), &nextDyn)
+		for step := 0; step < 20; step++ {
+			mutate(rng, ws, &nextDyn)
+			order := s.Order(ws, nil)
+			for i := 1; i < len(order); i++ {
+				if catOf(ws, order[i-1]) > catOf(ws, order[i]) {
+					t.Fatalf("category inversion in %v (views %+v)", order, ws)
+				}
+			}
+			if slot := readySlot(rng, ws); slot >= 0 && rng.Intn(2) == 0 {
+				s.Issued(slot)
+			}
+		}
+	}
+}
+
+// TestIncrementalMatchesLegacySort is the ready-set engine's equivalence
+// proof by fuzzing: for GTO and OWF, a ranking maintained incrementally
+// through Sync must equal the legacy sort applied to the same views
+// after every mutation, for any interleaving of view changes and
+// issues. AuditReady must also stay clean throughout.
+func TestIncrementalMatchesLegacySort(t *testing.T) {
+	for _, p := range []struct {
+		name string
+		pol  config.SchedPolicy
+	}{{"gto", config.SchedGTO}, {"owf", config.SchedOWF}} {
+		t.Run(p.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(1))
+			var nextDyn int64
+			for trial := 0; trial < 100; trial++ {
+				s := New(p.pol, 0)
+				inc, ok := s.(Incremental)
+				if !ok {
+					t.Fatalf("%s does not implement Incremental", p.name)
+				}
+				ws := randViews(rng, 1+rng.Intn(16), &nextDyn)
+				for i := range ws {
+					inc.Sync(ws[i])
+				}
+				for step := 0; step < 30; step++ {
+					inc.Sync(mutate(rng, ws, &nextDyn))
+					// Same scheduler object: legacy Order and OrderReady
+					// share the greedy state, so outputs must be equal
+					// element-wise.
+					legacy := s.Order(ws, nil)
+					fast := inc.OrderReady(nil)
+					if len(legacy) != len(fast) {
+						t.Fatalf("step %d: legacy %v vs incremental %v", step, legacy, fast)
+					}
+					for i := range legacy {
+						if legacy[i] != fast[i] {
+							t.Fatalf("step %d: legacy %v vs incremental %v", step, legacy, fast)
+						}
+					}
+					if err := inc.AuditReady(ws); err != nil {
+						t.Fatalf("step %d: %v", step, err)
+					}
+					if slot := readySlot(rng, ws); slot >= 0 && rng.Intn(2) == 0 {
+						s.Issued(slot)
+					}
+				}
+			}
+		})
+	}
+}

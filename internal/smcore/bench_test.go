@@ -13,8 +13,12 @@ import (
 // benchKernel is a steady-state mix of global loads, arithmetic, and a
 // global store per thread — enough memory traffic to keep the LSU, L1
 // MSHRs, and writeback queue busy without finishing instantly.
-func benchKernel() *kernel.Kernel {
-	b := kernel.NewBuilder("bench", 64)
+func benchKernel() *kernel.Kernel { return benchKernelDim(64) }
+
+// benchKernelDim is benchKernel at an arbitrary block size, so the
+// high-occupancy benchmark can pack more warps per block.
+func benchKernelDim(blockDim int) *kernel.Kernel {
+	b := kernel.NewBuilder("bench", blockDim)
 	b.Params(2).SetRegs(12)
 	const (
 		rGid, rIn, rOut, rA, rV, rT, rJ = 10, 11, 9, 0, 1, 2, 3
@@ -59,6 +63,50 @@ func BenchmarkSMTick(b *testing.B) {
 	out := ms.Global.Alloc(4 * nThreads)
 	l := &kernel.Launch{Kernel: k, GridDim: 1 << 16, Params: []uint32{in, out}}
 	occ := core.ComputeOccupancy(&cfg, k)
+	sm, err := New(0, &cfg, l, occ, ms)
+	if err != nil {
+		b.Fatal(err)
+	}
+	next := 0
+	for slot := 0; slot < occ.Max; slot++ {
+		if err := sm.LaunchBlock(slot, next); err != nil {
+			b.Fatal(err)
+		}
+		next++
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	var now int64
+	for i := 0; i < b.N; i++ {
+		if err := tickSM(sm, now); err != nil {
+			b.Fatal(err)
+		}
+		ms.Tick(now)
+		for _, slot := range sm.FinishedSlots() {
+			if err := sm.LaunchBlock(slot, next%l.GridDim); err != nil {
+				b.Fatal(err)
+			}
+			next++
+		}
+		now++
+	}
+}
+
+// BenchmarkSMTickManyWarps is BenchmarkSMTick at high occupancy: 6-warp
+// blocks filling every resident slot, the regime where per-cycle
+// scheduler ranking dominates and the ready-set engine matters most.
+func BenchmarkSMTickManyWarps(b *testing.B) {
+	cfg := config.Default()
+	k := benchKernelDim(192)
+	ms := mem.NewSystem(&cfg)
+	nThreads := 1 << 22
+	in := ms.Global.Alloc(4 * nThreads)
+	out := ms.Global.Alloc(4 * nThreads)
+	l := &kernel.Launch{Kernel: k, GridDim: 1 << 14, Params: []uint32{in, out}}
+	occ := core.ComputeOccupancy(&cfg, k)
+	if warps := occ.Max * 6; warps < 48 {
+		b.Fatalf("only %d resident warps, want >= 48", warps)
+	}
 	sm, err := New(0, &cfg, l, occ, ms)
 	if err != nil {
 		b.Fatal(err)

@@ -1,0 +1,227 @@
+package smcore
+
+import (
+	"fmt"
+	"os"
+
+	"gpushare/internal/isa"
+	"gpushare/internal/sched"
+)
+
+// The ready-set issue engine (see DESIGN.md "The ready-set issue
+// engine"). Two ideas, both exploiting that a kernel's instruction
+// stream is static:
+//
+//  1. metaEntry: everything tryIssue derives from an instruction —
+//     scoreboard dependency masks, destination masks, execution unit,
+//     memory class, shared-pool reach, arithmetic latency — is computed
+//     once per PC at SM construction, turning per-cycle operand walks
+//     into single array loads.
+//
+//  2. Warp snapshots: each warp's sched.WarpInfo is cached and
+//     recomputed only when an event that can change one of its inputs
+//     fires (markDirty callers). Schedulers that implement
+//     sched.Incremental additionally keep a maintained ready ranking
+//     fed from the same refresh, so a cycle's issue order costs a walk
+//     of the ready list instead of a per-cycle sort.
+//
+// Config.NoSnapshot (or GPUSHARE_NOSNAPSHOT=1) disables idea 2: every
+// cycle rebuilds every view and ranks with the legacy sort, which is
+// the reference the snapshot path is audited and tested against.
+
+// metaEntry is the static per-PC issue metadata.
+type metaEntry struct {
+	regMask     uint64 // GPR scoreboard dependencies (sources + destination)
+	dstRegMask  uint64 // GPR destination bit, if any
+	predMask    uint8  // predicate scoreboard dependencies
+	dstPredMask uint8  // predicate destination bit, if any
+	unit        uint8  // isa.Unit
+	flags       uint8
+	lat         int64 // SP/SFU issue-to-writeback latency incl. RF bank conflicts
+}
+
+const (
+	metaGlobalMem  uint8 = 1 << iota // isa.IsGlobalMem
+	metaSharedMem                    // isa.IsSharedMem
+	metaSharedPool                   // touches a register in the shared pool (>= PrivateRegs)
+)
+
+// buildMeta precomputes the metadata table for the launch's kernel.
+func (sm *SM) buildMeta() []metaEntry {
+	k := sm.launch.Kernel
+	meta := make([]metaEntry, len(k.Instrs))
+	for pc := range k.Instrs {
+		in := &k.Instrs[pc]
+		me := &meta[pc]
+		regs, preds := sm.dependencyMasks(in)
+		me.regMask, me.predMask = regs, preds
+		if r, ok := in.DstReg(); ok {
+			me.dstRegMask = 1 << uint(r)
+		}
+		if in.Dst.Kind == isa.OpPred {
+			me.dstPredMask = 1 << in.Dst.Reg
+		}
+		me.unit = uint8(isa.UnitOf(in.Op))
+		if isa.IsGlobalMem(in.Op) {
+			me.flags |= metaGlobalMem
+		}
+		if isa.IsSharedMem(in.Op) {
+			me.flags |= metaSharedMem
+		}
+		if in.MaxReg() >= sm.occ.PrivateRegs {
+			me.flags |= metaSharedPool
+		}
+		switch isa.UnitOf(in.Op) {
+		case isa.UnitSFU:
+			me.lat = int64(sm.cfg.SFULat)
+		default:
+			me.lat = int64(sm.cfg.SPLat)
+		}
+		me.lat += sm.rfConflictCycles(in)
+	}
+	return meta
+}
+
+// envNoSnapshot reads GPUSHARE_NOSNAPSHOT: any value other than empty
+// or "0" forces the recompute path. Like SMWorkers and NoFastForward
+// it cannot change results, so it is safe as a plain env escape hatch.
+func envNoSnapshot() bool {
+	v := os.Getenv("GPUSHARE_NOSNAPSHOT")
+	return v != "" && v != "0"
+}
+
+// markDirty queues warp slot ws for re-snapshot before its scheduler's
+// next ranking. Call sites are exactly the events that can change a
+// WarpInfo input (live/finished/atBarrier/DynID/PC/loadRegs); Category
+// changes are handled pair-wide by markPairDirty.
+func (sm *SM) markDirty(ws int) {
+	if sm.noSnapshot || sm.dirty[ws] {
+		return
+	}
+	sm.dirty[ws] = true
+	si := sm.slotSched[ws]
+	sm.dirtyList[si] = append(sm.dirtyList[si], int32(ws))
+}
+
+// markBlockDirty queues every warp of a block slot.
+func (sm *SM) markBlockDirty(bs int) {
+	base := bs * sm.warpsPerBlock
+	for wi := 0; wi < sm.warpsPerBlock; wi++ {
+		sm.markDirty(base + wi)
+	}
+}
+
+// markPairDirty queues both sides of a sharing pair — pair ownership
+// just changed, so every warp of both blocks changed Category.
+func (sm *SM) markPairDirty(bs int) {
+	sm.markBlockDirty(bs)
+	if partner := sm.shr.PartnerSlot(bs); partner >= 0 {
+		sm.markBlockDirty(partner)
+	}
+}
+
+// refresh re-snapshots scheduler si's dirty warps and syncs its
+// incremental ready ranking, leaving schedInfo[si] equal to what a
+// from-scratch rebuild would produce.
+func (sm *SM) refresh(si int) {
+	dl := sm.dirtyList[si]
+	if len(dl) == 0 {
+		return
+	}
+	info := sm.schedInfo[si]
+	inc := sm.incr[si]
+	for _, ws := range dl {
+		sm.dirty[ws] = false
+		wi := sm.snapshotWarp(int(ws))
+		info[sm.slotPos[ws]] = wi
+		if inc != nil {
+			inc.Sync(wi)
+		}
+	}
+	sm.dirtyList[si] = dl[:0]
+}
+
+// rebuildAll is the NoSnapshot path: rebuild every view of scheduler si
+// from scratch, exactly as the pre-ready-set engine did each cycle.
+func (sm *SM) rebuildAll(si int) []sched.WarpInfo {
+	info := sm.schedInfo[si]
+	for pos, ws := range sm.schedWarps[si] {
+		info[pos] = sm.snapshotWarp(ws)
+	}
+	return info
+}
+
+// snapshotWarp computes one warp's scheduler view. This is the write
+// path: it also performs the early-release check (§VIII extension) the
+// legacy buildInfo did, so refresh timing must — and does — cover every
+// cycle on which the release condition can newly hold (the condition's
+// only non-static input is the warp's PC, which advances only at issue,
+// a dirtying event).
+func (sm *SM) snapshotWarp(ws int) sched.WarpInfo {
+	wc := &sm.warps[ws]
+	wi := sched.WarpInfo{Slot: ws}
+	if wc.live && !wc.finished && !wc.atBarrier {
+		wi.HasWork = true
+		wi.DynID = wc.w.DynID
+		wi.Category = sm.shr.Category(wc.w.BlockSlot)
+		if pc, _, ok := wc.w.PC(); ok {
+			if sm.futureShared != nil && !sm.futureShared[pc] {
+				bs := wc.w.BlockSlot
+				if sm.shr.Shared(bs) && sm.shr.HoldsRegLock(bs, wc.w.WarpInCta) {
+					sm.shr.ReleaseReg(bs, wc.w.WarpInCta)
+					sm.Stats.EarlyRegRelease++
+				}
+			}
+			wi.WaitingLong = sm.meta[pc].regMask&wc.loadRegs != 0
+		}
+	}
+	return wi
+}
+
+// referenceInfo recomputes one warp's scheduler view from scratch with
+// no side effects and no metadata table — the operand-walk reference
+// the snapshot auditor compares cached state against.
+func (sm *SM) referenceInfo(ws int) sched.WarpInfo {
+	wc := &sm.warps[ws]
+	wi := sched.WarpInfo{Slot: ws}
+	if wc.live && !wc.finished && !wc.atBarrier {
+		wi.HasWork = true
+		wi.DynID = wc.w.DynID
+		wi.Category = sm.shr.Category(wc.w.BlockSlot)
+		if pc, _, ok := wc.w.PC(); ok {
+			in := &sm.launch.Kernel.Instrs[pc]
+			need, _ := sm.dependencyMasks(in)
+			wi.WaitingLong = need&wc.loadRegs != 0
+		}
+	}
+	return wi
+}
+
+// AuditSnapshots cross-checks the ready-set engine: every cached warp
+// snapshot that is not pending refresh must equal a from-scratch
+// recompute, and every incremental scheduler's ready structure must
+// equal the ranking of the cached views. Read-only. A mismatch means an
+// invalidation event was missed — the scheduler is ranking stale state.
+func (sm *SM) AuditSnapshots() error {
+	if sm.noSnapshot {
+		return nil
+	}
+	for si := range sm.scheds {
+		for pos, ws := range sm.schedWarps[si] {
+			if sm.dirty[ws] {
+				continue // queued for refresh; staleness is expected
+			}
+			got, want := sm.schedInfo[si][pos], sm.referenceInfo(ws)
+			if got != want {
+				return fmt.Errorf("SM%d warp %d: cached scheduler snapshot %+v differs from recompute %+v (missed snapshot invalidation)",
+					sm.ID, ws, got, want)
+			}
+		}
+		if inc := sm.incr[si]; inc != nil {
+			if err := inc.AuditReady(sm.schedInfo[si]); err != nil {
+				return fmt.Errorf("SM%d scheduler %d: %w (ready set out of sync with warp snapshots)", sm.ID, si, err)
+			}
+		}
+	}
+	return nil
+}

@@ -82,6 +82,23 @@ type SM struct {
 	scheds []sched.Scheduler
 	// schedWarps[i] lists the warp slots scheduler i manages.
 	schedWarps [][]int
+	// incr[i] is scheds[i] when the policy maintains an incremental
+	// ready ranking (sched.Incremental), nil otherwise.
+	incr []sched.Incremental
+
+	// Ready-set issue engine (meta.go). meta is the static per-PC issue
+	// metadata; schedInfo[i] caches scheduler i's warp views (position-
+	// parallel to schedWarps[i], so the per-scheduler buffers can never
+	// alias); dirty/dirtyList queue warps whose snapshot inputs changed;
+	// slotSched/slotPos map a warp slot to its scheduler and position.
+	meta       []metaEntry
+	schedInfo  [][]sched.WarpInfo
+	schedOrder [][]int
+	dirty      []bool
+	dirtyList  [][]int32
+	slotSched  []int32
+	slotPos    []int32
+	noSnapshot bool
 
 	l1       *cache.Cache
 	mshr     map[uint32][]*loadGroup
@@ -114,10 +131,8 @@ type SM struct {
 	Stats stats.SM
 
 	// scratch buffers reused across cycles
-	infoBuf  []sched.WarpInfo
-	orderBuf []int
-	lineBuf  []uint32
-	regBuf   []int
+	lineBuf []uint32
+	regBuf  []int
 }
 
 // New builds an SM for a kernel launch. The sharing manager governs the
@@ -164,6 +179,29 @@ func New(id int, cfg *config.Config, l *kernel.Launch, occ core.Occupancy, ms *m
 	for ws := range sm.warps {
 		s := ws % cfg.NumSchedulers
 		sm.schedWarps[s] = append(sm.schedWarps[s], ws)
+	}
+
+	sm.meta = sm.buildMeta()
+	sm.noSnapshot = cfg.NoSnapshot || envNoSnapshot()
+	sm.dirty = make([]bool, len(sm.warps))
+	sm.slotSched = make([]int32, len(sm.warps))
+	sm.slotPos = make([]int32, len(sm.warps))
+	for si := range sm.scheds {
+		n := len(sm.schedWarps[si])
+		info := make([]sched.WarpInfo, n)
+		for pos, ws := range sm.schedWarps[si] {
+			info[pos] = sched.WarpInfo{Slot: ws}
+			sm.slotSched[ws] = int32(si)
+			sm.slotPos[ws] = int32(pos)
+		}
+		sm.schedInfo = append(sm.schedInfo, info)
+		sm.schedOrder = append(sm.schedOrder, make([]int, 0, n))
+		sm.dirtyList = append(sm.dirtyList, make([]int32, 0, n))
+		inc, _ := sm.scheds[si].(sched.Incremental)
+		if sm.noSnapshot {
+			inc = nil // legacy ranking everywhere on the recompute path
+		}
+		sm.incr = append(sm.incr, inc)
 	}
 	return sm, nil
 }
@@ -281,6 +319,7 @@ func (sm *SM) LaunchBlock(slot, ctaID int) error {
 		wc.loadRegs = 0
 		wc.gen++
 	}
+	sm.markBlockDirty(slot)
 	sm.Stats.BlocksLaunched++
 	if sm.shr.Shared(slot) {
 		sm.Stats.BlocksShared++

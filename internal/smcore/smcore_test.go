@@ -1,6 +1,7 @@
 package smcore
 
 import (
+	"reflect"
 	"testing"
 
 	"gpushare/internal/config"
@@ -8,6 +9,7 @@ import (
 	"gpushare/internal/isa"
 	"gpushare/internal/kernel"
 	"gpushare/internal/mem"
+	"gpushare/internal/sched"
 )
 
 // buildSM creates a single SM for a kernel with the whole launch grid
@@ -354,5 +356,73 @@ func TestRFBankConflictModel(t *testing.T) {
 	fast := run(clean, 16)
 	if slow <= fast {
 		t.Errorf("conflicting sources (%d cycles) not slower than clean (%d)", slow, fast)
+	}
+}
+
+// TestSchedulerViewBuffersIndependent is the regression test for the
+// scheduler-buffer aliasing hazard: with two schedulers live on one SM,
+// one scheduler rebuilding its warp views or ranking must never disturb
+// the other's. The buffers are per-scheduler; before the ready-set
+// engine they were shared across the per-cycle scheduler loop.
+func TestSchedulerViewBuffersIndependent(t *testing.T) {
+	for _, mode := range []struct {
+		name   string
+		noSnap bool
+	}{{"snapshots", false}, {"nosnapshot", true}} {
+		t.Run(mode.name, func(t *testing.T) {
+			cfg := config.Default()
+			cfg.NoSnapshot = mode.noSnap
+			b := kernel.NewBuilder("multi", 128) // 4 warps: two per scheduler
+			b.MovI(0, 1)
+			for i := 0; i < 30; i++ {
+				b.IAdd(0, isa.Reg(0), isa.Imm(1))
+			}
+			b.Exit()
+			sm, ms, _ := buildSM(t, cfg, b.MustBuild(), 1)
+			mustLaunch(t, sm, 0, 0)
+			if len(sm.scheds) < 2 {
+				t.Fatalf("need two live schedulers, have %d", len(sm.scheds))
+			}
+			for si := range sm.scheds {
+				if len(sm.schedWarps[si]) == 0 {
+					t.Fatalf("scheduler %d has no warps", si)
+				}
+			}
+
+			// Each scheduler's views are position-parallel to its own
+			// warp set — never another scheduler's slots.
+			for si := range sm.scheds {
+				sm.rebuildAll(si)
+				for pos, ws := range sm.schedWarps[si] {
+					if got := sm.schedInfo[si][pos].Slot; got != ws {
+						t.Fatalf("scheduler %d views slot %d at position %d, want %d", si, got, pos, ws)
+					}
+				}
+			}
+
+			// Rank scheduler 0 into its own buffers, then rebuild and
+			// rank scheduler 1: scheduler 0's views and ranking must
+			// come through untouched.
+			views0 := append([]sched.WarpInfo(nil), sm.rebuildAll(0)...)
+			order0 := sm.scheds[0].Order(sm.schedInfo[0], sm.schedOrder[0][:0])
+			saved0 := append([]int(nil), order0...)
+
+			sm.rebuildAll(1)
+			order1 := sm.scheds[1].Order(sm.schedInfo[1], sm.schedOrder[1][:0])
+
+			if !reflect.DeepEqual(views0, sm.schedInfo[0]) {
+				t.Errorf("scheduler 1's rebuild clobbered scheduler 0's views:\nbefore %+v\nafter  %+v", views0, sm.schedInfo[0])
+			}
+			if !reflect.DeepEqual(saved0, order0) {
+				t.Errorf("scheduler 1's ranking clobbered scheduler 0's: saved %v, now %v", saved0, order0)
+			}
+			for _, slot := range order1 {
+				if sm.slotSched[slot] != 1 {
+					t.Errorf("scheduler 1 ranked slot %d, owned by scheduler %d", slot, sm.slotSched[slot])
+				}
+			}
+
+			runToCompletion(t, sm, ms, 100000)
+		})
 	}
 }

@@ -8,7 +8,6 @@ import (
 	"gpushare/internal/isa"
 	"gpushare/internal/kernel"
 	"gpushare/internal/mem"
-	"gpushare/internal/sched"
 	"gpushare/internal/simerr"
 	"gpushare/internal/warp"
 )
@@ -43,9 +42,22 @@ func (sm *SM) Tick(now int64) (bool, error) {
 	sfuUsed := false
 
 	for si, sc := range sm.scheds {
-		info := sm.buildInfo(si)
-		order := sc.Order(info, sm.orderBuf[:0])
-		sm.orderBuf = order[:0]
+		// Each scheduler ranks from its own cached (or, under
+		// NoSnapshot, freshly rebuilt) view buffer; the buffers are
+		// per-scheduler so one scheduler's pass can never clobber
+		// another's views within a cycle.
+		var order []int
+		if sm.noSnapshot {
+			order = sc.Order(sm.rebuildAll(si), sm.schedOrder[si][:0])
+		} else {
+			sm.refresh(si)
+			if inc := sm.incr[si]; inc != nil {
+				order = inc.OrderReady(sm.schedOrder[si][:0])
+			} else {
+				order = sc.Order(sm.schedInfo[si], sm.schedOrder[si][:0])
+			}
+		}
+		sm.schedOrder[si] = order[:0]
 		for _, slot := range order {
 			ok, blocked, err := sm.tryIssue(slot, now, &memUsed, &sfuUsed)
 			if err != nil {
@@ -75,38 +87,6 @@ func (sm *SM) Tick(now int64) (bool, error) {
 		}
 	}
 	return issued > 0, nil
-}
-
-// buildInfo assembles the scheduler view of one scheduler's warps.
-func (sm *SM) buildInfo(si int) []sched.WarpInfo {
-	info := sm.infoBuf[:0]
-	for _, ws := range sm.schedWarps[si] {
-		wc := &sm.warps[ws]
-		wi := sched.WarpInfo{Slot: ws}
-		if wc.live && !wc.finished && !wc.atBarrier {
-			wi.HasWork = true
-			wi.DynID = wc.w.DynID
-			wi.Category = sm.shr.Category(wc.w.BlockSlot)
-			if pc, _, ok := wc.w.PC(); ok {
-				// Early release (§VIII extension): once no reachable
-				// instruction can touch the shared pool, drop the pair
-				// lock so the partner warp may proceed.
-				if sm.futureShared != nil && !sm.futureShared[pc] {
-					bs := wc.w.BlockSlot
-					if sm.shr.Shared(bs) && sm.shr.HoldsRegLock(bs, wc.w.WarpInCta) {
-						sm.shr.ReleaseReg(bs, wc.w.WarpInCta)
-						sm.Stats.EarlyRegRelease++
-					}
-				}
-				in := &sm.launch.Kernel.Instrs[pc]
-				need, _ := sm.dependencyMasks(in)
-				wi.WaitingLong = need&wc.loadRegs != 0
-			}
-		}
-		info = append(info, wi)
-	}
-	sm.infoBuf = info[:0]
-	return info
 }
 
 // dependencyMasks returns the GPR and predicate scoreboard bits the
@@ -150,20 +130,20 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int, er
 		return false, blockNone, nil
 	}
 	in := &sm.launch.Kernel.Instrs[pc]
+	me := &sm.meta[pc]
 	bs := wc.w.BlockSlot
 	b := &sm.blocks[bs]
 
 	// Scoreboard: RAW on pending writes, WAW on the destination. The
 	// warp has issued everything before this instruction and waits for
 	// a result: a data wait, not a pipeline stall.
-	needRegs, needPreds := sm.dependencyMasks(in)
-	if needRegs&wc.pendingRegs != 0 || needPreds&wc.pendingPreds != 0 {
+	if me.regMask&wc.pendingRegs != 0 || me.predMask&wc.pendingPreds != 0 {
 		sm.Stats.BlockScoreboard++
 		return false, blockData, nil
 	}
 
 	// Structural hazards.
-	switch isa.UnitOf(in.Op) {
+	switch isa.Unit(me.unit) {
 	case isa.UnitSFU:
 		if *sfuUsed {
 			sm.Stats.BlockUnit++
@@ -174,19 +154,25 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int, er
 			sm.Stats.BlockUnit++
 			return false, blockStructural, nil
 		}
-		if isa.IsGlobalMem(in.Op) && len(sm.mshr) >= sm.cfg.L1MSHRs {
+		if me.flags&metaGlobalMem != 0 && len(sm.mshr) >= sm.cfg.L1MSHRs {
 			sm.Stats.BlockMemPipe++
 			return false, blockStructural, nil
 		}
 	}
 
 	// Register sharing: instructions touching the shared register pool
-	// need the warp-pair lock (Fig. 3).
-	if sm.shr.RegNeedsLock(bs, in) {
+	// need the warp-pair lock (Fig. 3). A successful acquire can change
+	// pair ownership, which changes the Category of every warp on both
+	// sides — the epoch comparison catches that and dirties the pair.
+	if sm.shr.RegLockNeededStatic(bs, me.flags&metaSharedPool != 0) {
+		epoch := sm.shr.Epoch()
 		if !sm.shr.TryAcquireReg(bs, wc.w.WarpInCta) {
 			sm.Stats.BlockLockWait++
 			sm.Stats.SharedRegWaits++
 			return false, blockStructural, nil
+		}
+		if sm.shr.Epoch() != epoch {
+			sm.markPairDirty(bs)
 		}
 	}
 
@@ -194,20 +180,24 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int, er
 	// block-pair lock (Fig. 4).
 	var smemAddrs [kernel.WarpSize]uint32
 	var smemActive uint32
-	if isa.IsSharedMem(in.Op) {
+	if me.flags&metaSharedMem != 0 {
 		smemActive = wc.w.EffAddrs(in, &b.env, &smemAddrs)
 		if sm.shr.SmemNeedsLock(bs, &smemAddrs, smemActive) {
+			epoch := sm.shr.Epoch()
 			if !sm.shr.TryAcquireSmem(bs) {
 				sm.Stats.BlockLockWait++
 				sm.Stats.SharedMemWaits++
 				return false, blockStructural, nil
+			}
+			if sm.shr.Epoch() != epoch {
+				sm.markPairDirty(bs)
 			}
 		}
 	}
 
 	// Dynamic warp execution: probabilistically gate global-memory
 	// instructions from non-owner warps (§IV-C).
-	if sm.cfg.DynWarp && isa.IsGlobalMem(in.Op) &&
+	if sm.cfg.DynWarp && me.flags&metaGlobalMem != 0 &&
 		sm.shr.Category(bs) == core.CatNonOwner {
 		if sm.dynProb <= 0 || sm.randFloat() >= sm.dynProb {
 			sm.Stats.BlockDynGate++
@@ -246,8 +236,8 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int, er
 		sm.lsuBusy = now + int64(deg-1)
 		if in.Op == isa.LDS {
 			lat := int64(sm.cfg.SmemLat + deg - 1)
-			sm.scheduleWB(now, now+lat, ws, wc.gen, 1<<in.Dst.Reg, 0, nil)
-			wc.pendingRegs |= 1 << in.Dst.Reg
+			sm.scheduleWB(now, now+lat, ws, wc.gen, me.dstRegMask, 0, nil)
+			wc.pendingRegs |= me.dstRegMask
 		}
 	case in.Op == isa.LDG:
 		*memUsed = true
@@ -256,30 +246,28 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int, er
 		*memUsed = true
 		sm.issueGlobalStore(res, now)
 	default:
-		// SP / SFU arithmetic.
-		lat := int64(sm.cfg.SPLat)
-		if isa.UnitOf(in.Op) == isa.UnitSFU {
-			lat = int64(sm.cfg.SFULat)
+		// SP / SFU arithmetic: unit, latency (incl. register-file bank
+		// conflicts), and destination masks all come from the table.
+		if isa.Unit(me.unit) == isa.UnitSFU {
 			*sfuUsed = true
 		}
-		lat += sm.rfConflictCycles(in)
-		regs, preds := uint64(0), uint8(0)
-		if r, hasDst := in.DstReg(); hasDst {
-			regs = 1 << uint(r)
-		}
-		if in.Dst.Kind == isa.OpPred {
-			preds = 1 << in.Dst.Reg
-		}
-		if regs != 0 || preds != 0 {
-			wc.pendingRegs |= regs
-			wc.pendingPreds |= preds
-			sm.scheduleWB(now, now+lat, ws, wc.gen, regs, preds, nil)
+		if me.dstRegMask != 0 || me.dstPredMask != 0 {
+			wc.pendingRegs |= me.dstRegMask
+			wc.pendingPreds |= me.dstPredMask
+			sm.scheduleWB(now, now+me.lat, ws, wc.gen, me.dstRegMask, me.dstPredMask, nil)
 		}
 	}
 
 	if res.Finished {
 		sm.warpFinished(ws)
+		if sm.faults.Trip(fault.StaleSnapshot, now, sm.ID, ws,
+			"warp finished but its scheduler snapshot was not invalidated") {
+			// Injected fault: the scheduler keeps a ready snapshot for a
+			// finished warp. The snapshot auditor must catch this.
+			return true, blockNone, nil
+		}
 	}
+	sm.markDirty(ws)
 	return true, blockNone, nil
 }
 
@@ -398,6 +386,8 @@ func (sm *SM) completeGroupPart(g *loadGroup) {
 	if wc.gen == g.gen {
 		wc.pendingRegs &^= g.regMask
 		wc.loadRegs &^= g.regMask
+		// loadRegs feeds WaitingLong: the warp's scheduler view changed.
+		sm.markDirty(g.warpSlot)
 	}
 	// remaining counted the outstanding references (MSHR waiters and
 	// queued writebacks); at zero the group is unreachable and reusable.
@@ -441,6 +431,7 @@ func (sm *SM) checkBarrier(bs int) {
 		wc := &sm.warps[bs*sm.warpsPerBlock+wi]
 		if wc.live && !wc.finished {
 			wc.atBarrier = false
+			sm.markDirty(bs*sm.warpsPerBlock + wi)
 		}
 	}
 }
@@ -462,7 +453,15 @@ func (sm *SM) warpFinished(ws int) {
 	b.live = false
 	partner := sm.shr.PartnerSlot(bs)
 	partnerLive := partner >= 0 && sm.blocks[partner].live
+	epoch := sm.shr.Epoch()
 	sm.shr.BlockFinished(bs, partnerLive)
+	if sm.shr.Epoch() != epoch && partnerLive {
+		// Ownership transferred: the partner block's warps changed
+		// Category. The finishing block's own warps are all finished
+		// (HasWork false regardless of Category) and are dirtied by
+		// their own finishing issue.
+		sm.markBlockDirty(partner)
+	}
 	sm.finished = append(sm.finished, bs)
 }
 
