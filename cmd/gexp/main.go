@@ -66,7 +66,7 @@ func writeMemProfile(path string) {
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id (fig1a..fig12b, table5..table8, hw, ext-*) or 'all'")
+		exp      = flag.String("exp", "", "experiment id (fig1a..fig12b, table5..table8, hw, ext-*, ten-*) or 'all'")
 		scale    = flag.Int("scale", 2, "workload grid scale")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 		verbose  = flag.Bool("v", false, "print per-run progress and cache statistics")

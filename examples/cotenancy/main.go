@@ -1,0 +1,113 @@
+// Co-tenancy walkthrough: two kernels — a register-limited gaussian
+// elimination step and a scratchpad-heavy convolution — sharing one
+// simulated GPU under each of the three tenancy policies. Spatial
+// partitioning gives every tenant its own SMs (MIG-style hard
+// isolation), co-scheduling packs blocks from both tenants onto the
+// same SMs under the admission layer's resource grants (MPS-style),
+// and time slicing round-robins the whole machine in fixed cycle
+// quanta. The per-tenant statistics show what each choice costs whom;
+// the packing table at the end compares the three admission heuristics.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"gpushare"
+)
+
+// tenants is the mix under study: disjoint bottlenecks, so co-residency
+// should pack well.
+var tenants = []gpushare.TenantSpec{
+	{Name: "latency", Workload: "gaussian"},
+	{Name: "batch", Workload: "CONV2"},
+}
+
+// runSpec executes the two-tenant mix under one tenancy spec on a fresh
+// simulator, verifying both tenants' functional outputs — co-residency
+// must never corrupt either kernel's results.
+func runSpec(spec *gpushare.TenancySpec) *gpushare.Stats {
+	sim, err := gpushare.NewSimulator(gpushare.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	launches := make([]*gpushare.Launch, len(spec.Tenants))
+	checks := make([]*gpushare.WorkloadInstance, len(spec.Tenants))
+	for i, t := range spec.Tenants {
+		w, err := gpushare.WorkloadByName(t.Workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst := w.Build(1)
+		inst.Setup(sim.Mem)
+		launches[i] = inst.Launch
+		checks[i] = inst
+	}
+	g, err := sim.RunMulti(spec, launches)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i, inst := range checks {
+		if inst.Check == nil {
+			continue
+		}
+		if err := inst.Check(sim.Mem); err != nil {
+			log.Fatalf("tenant %s: output corrupted by co-residency: %v", spec.TenantName(i), err)
+		}
+	}
+	return g
+}
+
+func main() {
+	// Solo baselines: each tenant alone on the whole GPU.
+	solo := map[string]float64{}
+	for _, t := range tenants {
+		w, err := gpushare.WorkloadByName(t.Workload)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sim, err := gpushare.NewSimulator(gpushare.DefaultConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		inst := w.Build(1)
+		inst.Setup(sim.Mem)
+		g, err := sim.Run(inst.Launch)
+		if err != nil {
+			log.Fatal(err)
+		}
+		solo[t.Name] = g.IPC()
+		fmt.Printf("solo %-8s IPC %7.2f  (%d cycles)\n", t.Name, g.IPC(), g.Cycles)
+	}
+
+	// The three policies on the same mix.
+	specs := []*gpushare.TenancySpec{
+		{Policy: gpushare.TenancySpatial, Tenants: tenants},
+		{Policy: gpushare.TenancyCoSched, Tenants: tenants},
+		{Policy: gpushare.TenancyTimeSlice, QuotaCycles: 10_000, Tenants: tenants},
+	}
+	for _, spec := range specs {
+		g := runSpec(spec)
+		fmt.Printf("\n== %s ==  machine IPC %.2f over %d cycles\n", spec.Policy, g.IPC(), g.Cycles)
+		fmt.Printf("%-8s %8s %10s %8s %6s %6s %10s\n",
+			"tenant", "IPC", "cycles", "blocks", "slots", "SMs", "vs-solo")
+		for _, ten := range g.Tenants {
+			fmt.Printf("%-8s %8.2f %10d %8d %6d %6d %9.0f%%\n",
+				ten.Name, ten.IPC(), ten.Cycles, ten.BlocksCompleted,
+				ten.ResidentSlots, ten.SMs, ten.IPC()/solo[ten.Name]*100)
+		}
+	}
+
+	// Admission heuristics under co-scheduling: where blocks land
+	// changes how the tenants interfere.
+	fmt.Printf("\n== packing strategies (cosched) ==\n")
+	fmt.Printf("%-10s %12s %12s\n", "strategy", "machine-IPC", "makespan")
+	for _, pack := range []gpushare.PackingStrategy{
+		gpushare.PackFirstFit, gpushare.PackBestFit, gpushare.PackWorstFit,
+	} {
+		g := runSpec(&gpushare.TenancySpec{
+			Policy: gpushare.TenancyCoSched, Packing: pack, Tenants: tenants,
+		})
+		fmt.Printf("%-10s %12.2f %12d\n", pack, g.IPC(), g.Cycles)
+	}
+}

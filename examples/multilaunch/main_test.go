@@ -1,0 +1,83 @@
+package main
+
+import (
+	"testing"
+
+	"gpushare"
+)
+
+// TestL2SurvivesLaunchBoundaries asserts the property the multi-launch
+// walkthrough relies on: the L2 is a persistent structure of the
+// simulator, not of a launch. Running the same kernel twice on one
+// simulator must show the second launch hitting lines the first one
+// filled, and an explicit FlushCaches must restore the cold-start miss
+// profile exactly.
+func TestL2SurvivesLaunchBoundaries(t *testing.T) {
+	const (
+		blockDim = 128
+		grid     = 16
+		words    = blockDim * grid
+	)
+	build := func() (*gpushare.Simulator, *gpushare.Launch) {
+		// One global load + store per thread over a shared buffer: every
+		// line the grid touches lands in the L2.
+		b := gpushare.NewKernel("touch", blockDim)
+		b.Params(1).SetRegs(8)
+		b.Mov(0, gpushare.Sreg(gpushare.SrTid))
+		b.IMad(0, gpushare.Sreg(gpushare.SrCtaid), gpushare.Sreg(gpushare.SrNtid), gpushare.Reg(0))
+		b.Shl(0, gpushare.Reg(0), gpushare.Imm(2))
+		b.LdParam(1, 0)
+		b.IAdd(0, gpushare.Reg(0), gpushare.Reg(1))
+		b.LdG(2, gpushare.Reg(0), 0)
+		b.IAdd(2, gpushare.Reg(2), gpushare.Imm(1))
+		b.StG(gpushare.Reg(0), 0, gpushare.Reg(2))
+		b.Exit()
+		k, err := b.Build()
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim, err := gpushare.NewSimulator(gpushare.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := sim.Mem.Alloc(4 * words)
+		return sim, &gpushare.Launch{Kernel: k, GridDim: grid, Params: []uint32{buf}}
+	}
+
+	// L2 counters are cumulative over the simulator's lifetime (the L2
+	// itself persists), so each launch's own profile is the delta from
+	// the previous launch's totals.
+	sim, launch := build()
+	cold, err := sim.Run(launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after2, err := sim.Run(launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmMisses := after2.L2.Misses - cold.L2.Misses
+	warmHits := after2.L2.Hits - cold.L2.Hits
+	if cold.L2.Misses == 0 {
+		t.Fatal("cold launch missed nothing in the L2; the kernel is not exercising the cache")
+	}
+	if warmMisses >= cold.L2.Misses {
+		t.Errorf("second launch missed %d L2 lines, first missed %d: L2 state did not survive the launch boundary",
+			warmMisses, cold.L2.Misses)
+	}
+	if warmHits <= cold.L2.Hits {
+		t.Errorf("second launch hit %d L2 lines vs %d on the first: expected warm reuse", warmHits, cold.L2.Hits)
+	}
+
+	// Flushing the caches must restore the cold-start miss profile
+	// exactly — same kernel, same addresses, empty L2.
+	sim.FlushCaches()
+	after3, err := sim.Run(launch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if flushedMisses := after3.L2.Misses - after2.L2.Misses; flushedMisses != cold.L2.Misses {
+		t.Errorf("post-flush launch missed %d L2 lines, cold launch missed %d: FlushCaches is not a cold start",
+			flushedMisses, cold.L2.Misses)
+	}
+}

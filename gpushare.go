@@ -44,6 +44,7 @@ import (
 	"gpushare/internal/runner"
 	"gpushare/internal/simerr"
 	"gpushare/internal/stats"
+	"gpushare/internal/tenancy"
 	"gpushare/internal/workloads"
 )
 
@@ -187,8 +188,49 @@ type (
 func NewExperimentSession(scale int) *ExperimentSession { return harness.NewSession(scale) }
 
 // ExperimentIDs lists the available experiments (fig1a..fig12b,
-// table5..table8, hw), one per table or figure in the paper.
+// table5..table8, hw), one per table or figure in the paper, plus the
+// ext-* sensitivity studies and ten-* multi-tenancy comparisons.
 func ExperimentIDs() []string { return harness.IDs() }
+
+// Multi-tenancy: several kernels sharing one simulated GPU under a
+// tenancy policy (internal/tenancy). Build a TenancySpec, then either
+// run launches directly via Simulator.RunMulti or submit it through a
+// Job/SubmitRequest with the Tenancy field set.
+type (
+	// TenancySpec is the multi-kernel descriptor: which tenants run and
+	// under which policy. It is cache-key-visible on runner jobs.
+	TenancySpec = tenancy.Spec
+	// TenantSpec names one tenant: a registry workload plus an optional
+	// display name and grid scale.
+	TenantSpec = tenancy.TenantSpec
+	// TenancyPolicy selects how tenants share the GPU.
+	TenancyPolicy = tenancy.Policy
+	// PackingStrategy selects the bin-packing admission heuristic.
+	PackingStrategy = tenancy.Packing
+	// TenantStats is one tenant's slice of a multi-tenant run's
+	// statistics (Stats.Tenants).
+	TenantStats = stats.Tenant
+)
+
+// Tenancy policies.
+const (
+	// TenancySpatial partitions the SMs into disjoint per-tenant sets
+	// (MIG analog): hard isolation, no resource contention.
+	TenancySpatial = tenancy.Spatial
+	// TenancyCoSched co-schedules blocks from different tenants on the
+	// same SMs under per-tenant resource caps (MPS analog).
+	TenancyCoSched = tenancy.CoSched
+	// TenancyTimeSlice round-robins the whole GPU between tenants in
+	// fixed cycle quanta with deterministic context switches.
+	TenancyTimeSlice = tenancy.TimeSlice
+)
+
+// Packing strategies for co-scheduling admission.
+const (
+	PackFirstFit = tenancy.FirstFit
+	PackBestFit  = tenancy.BestFit
+	PackWorstFit = tenancy.WorstFit
+)
 
 // HardwareOverhead computes the Section V storage cost of both sharing
 // mechanisms for a configuration.

@@ -83,7 +83,7 @@ func TestPublicAPIWorkloadsAndAssembly(t *testing.T) {
 
 func TestPublicAPIExperiments(t *testing.T) {
 	ids := gpushare.ExperimentIDs()
-	if len(ids) != 30 {
+	if len(ids) != 33 {
 		t.Fatalf("%d experiment ids", len(ids))
 	}
 	s := gpushare.NewExperimentSession(1)

@@ -98,6 +98,14 @@ func ComputeOccupancy(cfg *config.Config, k *kernel.Kernel) Occupancy {
 	return occ
 }
 
+// PairQuantum is the combined resource footprint of one sharing pair on
+// the shared dimension: two blocks holding (1+t) block allocations
+// between them (Eq. 4's pair cost). Tenancy cap accounting charges the
+// shared dimension per pair with this quantum instead of per block.
+func PairQuantum(perBlock int, t float64) int {
+	return int((1+t)*float64(perBlock) + eps)
+}
+
 // apply folds the raw pair count s into the occupancy, honouring the
 // effective-block-count invariant U+S = D (§III-C) and the remaining
 // resource caps.

@@ -23,6 +23,7 @@ const (
 	CorruptLeaseRelease      // release a shared-register lease without fixing the active-lock count
 	SkipBarrierArrival       // a warp parks at a barrier without being counted as arrived
 	StaleSnapshot            // skip a warp-snapshot invalidation: the scheduler keeps ranking on stale state
+	CorruptTenantCap         // skip a tenant's resource-cap release at block finish: the cap ledger leaks
 )
 
 func (k Kind) String() string {
@@ -35,6 +36,8 @@ func (k Kind) String() string {
 		return "skip-barrier-arrival"
 	case StaleSnapshot:
 		return "stale-snapshot"
+	case CorruptTenantCap:
+		return "corrupt-tenant-cap"
 	}
 	return "none"
 }

@@ -18,6 +18,7 @@ func TestExperimentIDsComplete(t *testing.T) {
 		"table5", "table6", "table7", "table8", "hw",
 		"ext-earlyrelease", "ext-l1policy", "ext-launchlat", "ext-mshr",
 		"ext-rfbanks",
+		"ten-interference", "ten-isolation", "ten-packing",
 	}
 	ids := IDs()
 	have := map[string]bool{}

@@ -27,8 +27,9 @@ const (
 	ClassSIMT                         // reconvergence stack well-formedness
 	ClassMemory                       // request conservation across queues
 	ClassSnapshot                     // cached warp snapshots and ready sets match a recompute
+	ClassTenancy                      // tenant isolation: slot ownership, pair locality, cap ledgers
 
-	ClassAll = ClassSharing | ClassBarrier | ClassScoreboard | ClassSIMT | ClassMemory | ClassSnapshot
+	ClassAll = ClassSharing | ClassBarrier | ClassScoreboard | ClassSIMT | ClassMemory | ClassSnapshot | ClassTenancy
 )
 
 // String names the classes in a mask, for error messages.
@@ -40,7 +41,7 @@ func (c Class) String() string {
 	}{
 		{ClassSharing, "sharing"}, {ClassBarrier, "barrier"},
 		{ClassScoreboard, "scoreboard"}, {ClassSIMT, "simt"}, {ClassMemory, "memory"},
-		{ClassSnapshot, "snapshot"},
+		{ClassSnapshot, "snapshot"}, {ClassTenancy, "tenancy"},
 	} {
 		if c&e.bit != 0 {
 			parts = append(parts, e.name)
@@ -123,6 +124,11 @@ func (c *Checker) auditSM(sm *smcore.SM, now int64) error {
 	}
 	if c.classes&ClassSnapshot != 0 {
 		if err := sm.AuditSnapshots(); err != nil {
+			return err
+		}
+	}
+	if c.classes&ClassTenancy != 0 {
+		if err := sm.AuditTenancy(); err != nil {
 			return err
 		}
 	}

@@ -13,12 +13,16 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"encoding/json"
 	"fmt"
 	"runtime/debug"
 
 	"gpushare/internal/config"
 	"gpushare/internal/gpu"
+	"gpushare/internal/kernel"
+	"gpushare/internal/mem"
 	"gpushare/internal/stats"
+	"gpushare/internal/tenancy"
 	"gpushare/internal/workloads"
 )
 
@@ -30,18 +34,36 @@ type Job struct {
 	Workload string
 	Config   config.Config
 	Scale    int
+
+	// Tenancy, when non-nil, makes this a multi-kernel job: the spec's
+	// tenants run concurrently under its policy (internal/tenancy) and
+	// Workload is ignored. Tenants whose Scale is 0 inherit the job's
+	// Scale. The spec is part of the cache key.
+	Tenancy *tenancy.Spec
 }
 
 // String renders a short human-readable job label for errors and logs.
 func (j Job) String() string {
+	if j.Tenancy != nil {
+		names := ""
+		for i := range j.Tenancy.Tenants {
+			if i > 0 {
+				names += "+"
+			}
+			names += j.Tenancy.TenantName(i)
+		}
+		return fmt.Sprintf("%s(%s) [%s] scale=%d", j.Tenancy.Policy, names, j.Config.String(), j.Scale)
+	}
 	return fmt.Sprintf("%s [%s] scale=%d", j.Workload, j.Config.String(), j.Scale)
 }
 
 // Key returns the job's content-addressed identity: the hex SHA-256 of
-// the canonical serialization of (workload, scale, config). Code
-// version is deliberately not part of the key — cache entries carry the
-// simulator fingerprint separately, so a fingerprint change invalidates
-// stored results without changing job identity.
+// the canonical serialization of (workload, scale, config, and — only
+// when present — the tenancy spec). Single-kernel jobs serialize exactly
+// as they did before multi-tenancy existed, so their cached results stay
+// addressable. Code version is deliberately not part of the key — cache
+// entries carry the simulator fingerprint separately, so a fingerprint
+// change invalidates stored results without changing job identity.
 func (j Job) Key() (string, error) {
 	cfg, err := j.Config.CanonicalJSON()
 	if err != nil {
@@ -50,6 +72,14 @@ func (j Job) Key() (string, error) {
 	h := sha256.New()
 	fmt.Fprintf(h, "{\"workload\":%q,\"scale\":%d,\"config\":", j.Workload, j.Scale)
 	h.Write(cfg)
+	if j.Tenancy != nil {
+		ten, err := json.Marshal(j.Tenancy)
+		if err != nil {
+			return "", fmt.Errorf("runner: serialize tenancy spec: %w", err)
+		}
+		h.Write([]byte(`,"tenancy":`))
+		h.Write(ten)
+	}
 	h.Write([]byte{'}'})
 	return hex.EncodeToString(h.Sum(nil)), nil
 }
@@ -81,6 +111,9 @@ func Fingerprint() string {
 // configuration with the caller's context (cancellation stops the cycle
 // loop within one stride), and optionally re-checks functional outputs.
 func simulate(ctx context.Context, j Job, verify bool) (*stats.GPU, error) {
+	if j.Tenancy != nil {
+		return simulateMulti(ctx, j, verify)
+	}
 	spec, err := workloads.ByName(j.Workload)
 	if err != nil {
 		return nil, err
@@ -98,6 +131,54 @@ func simulate(ctx context.Context, j Job, verify bool) (*stats.GPU, error) {
 	if verify && inst.Check != nil {
 		if err := inst.Check(sim.Mem); err != nil {
 			return nil, fmt.Errorf("functional check failed: %w", err)
+		}
+	}
+	return g, nil
+}
+
+// simulateMulti executes a multi-tenant job: every tenant's workload is
+// built at its own scale (falling back to the job's), staged into the
+// one shared memory system in tenant order, and run concurrently under
+// the job's tenancy spec. With verify set, each tenant's functional
+// check runs against the final memory image — co-residency must not
+// corrupt any tenant's output.
+func simulateMulti(ctx context.Context, j Job, verify bool) (*stats.GPU, error) {
+	ten := j.Tenancy
+	if err := ten.Validate(); err != nil {
+		return nil, err
+	}
+	sim, err := gpu.New(j.Config)
+	if err != nil {
+		return nil, err
+	}
+	launches := make([]*kernel.Launch, len(ten.Tenants))
+	checks := make([]func(*mem.Global) error, len(ten.Tenants))
+	for i, t := range ten.Tenants {
+		spec, err := workloads.ByName(t.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("tenant %q: %w", ten.TenantName(i), err)
+		}
+		scale := t.Scale
+		if scale == 0 {
+			scale = j.Scale
+		}
+		inst := spec.Build(scale)
+		inst.Setup(sim.Mem)
+		launches[i] = inst.Launch
+		checks[i] = inst.Check
+	}
+	g, err := sim.RunMultiCtx(ctx, ten, launches)
+	if err != nil {
+		return nil, err
+	}
+	if verify {
+		for i, check := range checks {
+			if check == nil {
+				continue
+			}
+			if err := check(sim.Mem); err != nil {
+				return nil, fmt.Errorf("tenant %q: functional check failed: %w", ten.TenantName(i), err)
+			}
 		}
 	}
 	return g, nil

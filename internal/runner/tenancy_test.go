@@ -1,0 +1,131 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"gpushare/internal/config"
+	"gpushare/internal/tenancy"
+)
+
+func twoTenantJob(mut func(*config.Config)) Job {
+	j := cheapJob(mut)
+	j.Workload = ""
+	j.Tenancy = &tenancy.Spec{
+		Policy:  tenancy.CoSched,
+		Packing: tenancy.FirstFit,
+		Tenants: []tenancy.TenantSpec{
+			{Name: "latency", Workload: "gaussian"},
+			{Name: "batch", Workload: "CONV2"},
+		},
+	}
+	return j
+}
+
+// TestJobKeyTenancyBackCompat pins the cache-key contract: a job with no
+// tenancy spec must hash to exactly the bytes the pre-tenancy serializer
+// produced, so every result cached before the field existed stays
+// addressable.
+func TestJobKeyTenancyBackCompat(t *testing.T) {
+	j := cheapJob(nil)
+	got, err := j.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := j.Config.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "{\"workload\":%q,\"scale\":%d,\"config\":", j.Workload, j.Scale)
+	h.Write(cfg)
+	h.Write([]byte{'}'})
+	if want := hex.EncodeToString(h.Sum(nil)); got != want {
+		t.Fatalf("tenancy-free job key drifted from the legacy serialization: %s vs %s", got, want)
+	}
+}
+
+func TestJobKeyTenancyDistinct(t *testing.T) {
+	plain := cheapJob(nil)
+	kp, err := plain.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	multi := twoTenantJob(nil)
+	km, err := multi.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km == kp {
+		t.Fatal("tenancy-bearing job shares a key with a single-tenant job")
+	}
+
+	// Every field of the spec must be key-visible: policy, packing,
+	// quota, and the tenant list all change the simulation.
+	variants := []func(*tenancy.Spec){
+		func(s *tenancy.Spec) { s.Policy = tenancy.Spatial },
+		func(s *tenancy.Spec) { s.Packing = tenancy.BestFit },
+		func(s *tenancy.Spec) {
+			s.Policy = tenancy.TimeSlice
+			s.QuotaCycles = 5000
+		},
+		func(s *tenancy.Spec) { s.Tenants[1].Workload = "gaussian" },
+		func(s *tenancy.Spec) { s.Tenants[0].Scale = 2 },
+	}
+	seen := map[string]int{km: -1}
+	for i, mut := range variants {
+		v := twoTenantJob(nil)
+		mut(v.Tenancy)
+		kv, err := v.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev, dup := seen[kv]; dup {
+			t.Fatalf("tenancy variants %d and %d share a key: the spec is not fully key-visible", prev, i)
+		}
+		seen[kv] = i
+	}
+}
+
+// TestRunMultiTenantJob drives a two-tenant co-scheduled job through the
+// full runner path: simulation, per-tenant functional verification, and
+// the disk cache round-trip (the per-tenant breakdown must survive
+// serialization).
+func TestRunMultiTenantJob(t *testing.T) {
+	dir := t.TempDir()
+	j := twoTenantJob(func(c *config.Config) { c.NumSMs = 4 })
+
+	r := New(Options{Workers: 1, CacheDir: dir, Verify: true})
+	g, err := r.RunJob(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Tenants) != 2 {
+		t.Fatalf("expected 2 tenant stat entries, got %d", len(g.Tenants))
+	}
+	for i, ten := range g.Tenants {
+		if ten.IPC() <= 0 {
+			t.Errorf("tenant %d (%s) has non-positive IPC", i, ten.Name)
+		}
+		if ten.BlocksCompleted == 0 {
+			t.Errorf("tenant %d (%s) completed no blocks", i, ten.Name)
+		}
+	}
+
+	// A second runner over the same cache directory must serve the
+	// result from disk — including the tenant breakdown — bit-identical.
+	r2 := New(Options{Workers: 1, CacheDir: dir, Verify: true})
+	g2, err := r2.RunJob(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(g, g2) {
+		t.Fatal("cached multi-tenant result differs from the fresh simulation")
+	}
+	if hits := r2.Counters().DiskHits; hits != 1 {
+		t.Fatalf("expected 1 disk cache hit, got %d", hits)
+	}
+}

@@ -192,11 +192,20 @@ func (s *Server) runJob(jb *job) {
 
 // buildJob validates a submission and materializes the runner job.
 func (s *Server) buildJob(req *SubmitRequest) (runner.Job, string, error) {
-	if req.Workload == "" {
+	switch {
+	case req.Tenancy != nil:
+		if req.Workload != "" {
+			return runner.Job{}, "", fmt.Errorf("workload and tenancy are mutually exclusive; name workloads inside the tenancy spec")
+		}
+		if err := req.Tenancy.Validate(); err != nil {
+			return runner.Job{}, "", fmt.Errorf("invalid tenancy spec: %w", err)
+		}
+	case req.Workload == "":
 		return runner.Job{}, "", fmt.Errorf("workload is required")
-	}
-	if _, err := workloads.ByName(req.Workload); err != nil {
-		return runner.Job{}, "", err
+	default:
+		if _, err := workloads.ByName(req.Workload); err != nil {
+			return runner.Job{}, "", err
+		}
 	}
 	scale := req.Scale
 	if scale <= 0 {
@@ -210,7 +219,7 @@ func (s *Server) buildJob(req *SubmitRequest) (runner.Job, string, error) {
 		return runner.Job{}, "", fmt.Errorf("invalid config: %w", err)
 	}
 	cfg.SMWorkers = s.opts.SMWorkers
-	rjob := runner.Job{Workload: req.Workload, Config: cfg, Scale: scale}
+	rjob := runner.Job{Workload: req.Workload, Config: cfg, Scale: scale, Tenancy: req.Tenancy}
 	key, err := rjob.Key()
 	if err != nil {
 		return runner.Job{}, "", err
@@ -318,13 +327,30 @@ func (s *Server) lookupJob(key string) (*job, bool) {
 	return jb, true
 }
 
+// jobLabel renders a job's workload field for status responses: the
+// workload name for single-kernel jobs, "policy(tenant+tenant)" for
+// multi-tenant ones.
+func jobLabel(j runner.Job) string {
+	if j.Tenancy == nil {
+		return j.Workload
+	}
+	names := ""
+	for i := range j.Tenancy.Tenants {
+		if i > 0 {
+			names += "+"
+		}
+		names += j.Tenancy.TenantName(i)
+	}
+	return fmt.Sprintf("%s(%s)", j.Tenancy.Policy, names)
+}
+
 // status snapshots one job's externally visible state.
 func (s *Server) status(jb *job) JobStatus {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := JobStatus{
 		Key:      jb.key,
-		Workload: jb.rjob.Workload,
+		Workload: jobLabel(jb.rjob),
 		Scale:    jb.rjob.Scale,
 		State:    jb.state,
 	}

@@ -4,6 +4,7 @@ import (
 	"gpushare/internal/config"
 	"gpushare/internal/runner"
 	"gpushare/internal/stats"
+	"gpushare/internal/tenancy"
 )
 
 // Job lifecycle states reported by the API.
@@ -22,6 +23,11 @@ type SubmitRequest struct {
 	Workload string         `json:"workload"`
 	Scale    int            `json:"scale,omitempty"`
 	Config   *config.Config `json:"config,omitempty"`
+	// Tenancy, when present, makes this a multi-kernel submission: the
+	// spec's tenants run concurrently on one GPU under its policy
+	// (internal/tenancy) and Workload must be empty. Per-tenant stats
+	// come back in Stats.Tenants.
+	Tenancy *tenancy.Spec `json:"tenancy,omitempty"`
 	// DeadlineMillis is this job's execution budget, measured from
 	// admission. A job that exceeds it is canceled within one
 	// cancellation stride of the simulator's cycle loop (never run on to

@@ -8,15 +8,17 @@ import (
 	"gpushare/internal/simerr"
 )
 
-// blockLive adapts block liveness for the sharing-manager audit.
-func (sm *SM) blockLive(slot int) bool { return sm.blocks[slot].live }
-
-// AuditSharing verifies the sharing manager's lease accounting against
-// this SM's block liveness (no lost or double lease release, Fig. 5
-// exclusion, ownership held only by live blocks).
+// AuditSharing verifies each tenant's sharing-manager lease accounting
+// against that tenant's block liveness (no lost or double lease
+// release, Fig. 5 exclusion, ownership held only by live blocks).
 func (sm *SM) AuditSharing() error {
-	if err := sm.shr.Audit(sm.blockLive); err != nil {
-		return fmt.Errorf("SM%d: %w", sm.ID, err)
+	for ti := range sm.tens {
+		t := &sm.tens[ti]
+		base := t.blockBase
+		live := func(slot int) bool { return sm.blocks[base+slot].live }
+		if err := t.shr.Audit(live); err != nil {
+			return fmt.Errorf("SM%d tenant %d: %w", sm.ID, t.id, err)
+		}
 	}
 	return nil
 }
@@ -33,8 +35,8 @@ func (sm *SM) AuditBarriers() error {
 			continue
 		}
 		nLive, nParked := 0, 0
-		for wi := 0; wi < sm.warpsPerBlock; wi++ {
-			wc := &sm.warps[bs*sm.warpsPerBlock+wi]
+		for wi := 0; wi < b.wpb; wi++ {
+			wc := &sm.warps[b.warpBase+wi]
 			if !wc.live || wc.finished {
 				continue
 			}
@@ -161,12 +163,13 @@ func (sm *SM) Forensics(now int64) simerr.SMDump {
 			continue
 		}
 		b := &sm.blocks[wc.w.BlockSlot]
+		t := &sm.tens[b.tn]
 		wd := simerr.WarpDump{
 			Slot:        ws,
 			BlockSlot:   wc.w.BlockSlot,
 			CTA:         b.ctaID,
 			WarpInCta:   wc.w.WarpInCta,
-			Category:    sm.shr.Category(wc.w.BlockSlot).String(),
+			Category:    t.shr.Category(wc.w.BlockSlot - t.blockBase).String(),
 			SIMTDepth:   wc.w.SIMTDepth(),
 			AtBarrier:   wc.atBarrier,
 			Arrived:     b.arrived,
@@ -176,7 +179,7 @@ func (sm *SM) Forensics(now int64) simerr.SMDump {
 		}
 		if pc, _, ok := wc.w.PC(); ok {
 			wd.PC = pc
-			wd.Instr = sm.launch.Kernel.Instrs[pc].String()
+			wd.Instr = t.launch.Kernel.Instrs[pc].String()
 		}
 		wd.Stall = sm.stallReason(ws, now)
 		d.Warps = append(d.Warps, wd)
@@ -197,8 +200,10 @@ func (sm *SM) stallReason(ws int, now int64) string {
 	if !ok {
 		return ""
 	}
-	in := &sm.launch.Kernel.Instrs[pc]
 	bs := wc.w.BlockSlot
+	t := &sm.tens[sm.blocks[bs].tn]
+	ls := bs - t.blockBase
+	in := &t.launch.Kernel.Instrs[pc]
 	needRegs, needPreds := sm.dependencyMasks(in)
 	if hit := needRegs & wc.pendingRegs; hit != 0 {
 		if hit&wc.loadRegs != 0 {
@@ -217,18 +222,18 @@ func (sm *SM) stallReason(ws int, now int64) string {
 			return fmt.Sprintf("MSHR full (%d lines outstanding)", len(sm.mshr))
 		}
 	}
-	if sm.shr.RegNeedsLock(bs, in) && sm.shr.WouldBlockReg(bs, wc.w.WarpInCta) {
+	if t.shr.RegNeedsLock(ls, in) && t.shr.WouldBlockReg(ls, wc.w.WarpInCta) {
 		return "shared-register lock held by partner block (Fig. 5 wait)"
 	}
 	if isa.IsSharedMem(in.Op) {
 		b := &sm.blocks[bs]
 		var addrs [32]uint32
 		active := wc.w.EffAddrs(in, &b.env, &addrs)
-		if sm.shr.SmemNeedsLock(bs, &addrs, active) && sm.shr.WouldBlockSmem(bs) {
+		if t.shr.SmemNeedsLock(ls, &addrs, active) && t.shr.WouldBlockSmem(ls) {
 			return "scratchpad lock held by partner block (Fig. 4 wait)"
 		}
 	}
-	if sm.cfg.DynWarp && isa.IsGlobalMem(in.Op) && sm.shr.Category(bs) == core.CatNonOwner && sm.dynProb < 1 {
+	if sm.cfg.DynWarp && isa.IsGlobalMem(in.Op) && t.shr.Category(ls) == core.CatNonOwner && sm.dynProb < 1 {
 		return fmt.Sprintf("dynamic warp execution throttle (p=%.2f)", sm.dynProb)
 	}
 	return "ready"

@@ -5,6 +5,7 @@ import (
 	"os"
 
 	"gpushare/internal/isa"
+	"gpushare/internal/kernel"
 	"gpushare/internal/sched"
 )
 
@@ -46,9 +47,9 @@ const (
 	metaSharedPool                   // touches a register in the shared pool (>= PrivateRegs)
 )
 
-// buildMeta precomputes the metadata table for the launch's kernel.
-func (sm *SM) buildMeta() []metaEntry {
-	k := sm.launch.Kernel
+// buildMeta precomputes the metadata table for one tenant's kernel.
+// privateRegs is the tenant occupancy's private/shared register split.
+func (sm *SM) buildMeta(k *kernel.Kernel, privateRegs int) []metaEntry {
 	meta := make([]metaEntry, len(k.Instrs))
 	for pc := range k.Instrs {
 		in := &k.Instrs[pc]
@@ -68,7 +69,7 @@ func (sm *SM) buildMeta() []metaEntry {
 		if isa.IsSharedMem(in.Op) {
 			me.flags |= metaSharedMem
 		}
-		if in.MaxReg() >= sm.occ.PrivateRegs {
+		if in.MaxReg() >= privateRegs {
 			me.flags |= metaSharedPool
 		}
 		switch isa.UnitOf(in.Op) {
@@ -105,18 +106,21 @@ func (sm *SM) markDirty(ws int) {
 
 // markBlockDirty queues every warp of a block slot.
 func (sm *SM) markBlockDirty(bs int) {
-	base := bs * sm.warpsPerBlock
-	for wi := 0; wi < sm.warpsPerBlock; wi++ {
-		sm.markDirty(base + wi)
+	b := &sm.blocks[bs]
+	for wi := 0; wi < b.wpb; wi++ {
+		sm.markDirty(b.warpBase + wi)
 	}
 }
 
 // markPairDirty queues both sides of a sharing pair — pair ownership
-// just changed, so every warp of both blocks changed Category.
+// just changed, so every warp of both blocks changed Category. Pairs
+// are tenant-local; the partner's global slot is offset by the
+// tenant's block base.
 func (sm *SM) markPairDirty(bs int) {
 	sm.markBlockDirty(bs)
-	if partner := sm.shr.PartnerSlot(bs); partner >= 0 {
-		sm.markBlockDirty(partner)
+	t := &sm.tens[sm.blocks[bs].tn]
+	if partner := t.shr.PartnerSlot(bs - t.blockBase); partner >= 0 {
+		sm.markBlockDirty(t.blockBase + partner)
 	}
 }
 
@@ -161,18 +165,20 @@ func (sm *SM) snapshotWarp(ws int) sched.WarpInfo {
 	wc := &sm.warps[ws]
 	wi := sched.WarpInfo{Slot: ws}
 	if wc.live && !wc.finished && !wc.atBarrier {
+		bs := wc.w.BlockSlot
+		t := &sm.tens[wc.tn]
+		ls := bs - t.blockBase
 		wi.HasWork = true
 		wi.DynID = wc.w.DynID
-		wi.Category = sm.shr.Category(wc.w.BlockSlot)
+		wi.Category = t.shr.Category(ls)
 		if pc, _, ok := wc.w.PC(); ok {
-			if sm.futureShared != nil && !sm.futureShared[pc] {
-				bs := wc.w.BlockSlot
-				if sm.shr.Shared(bs) && sm.shr.HoldsRegLock(bs, wc.w.WarpInCta) {
-					sm.shr.ReleaseReg(bs, wc.w.WarpInCta)
+			if t.futureShared != nil && !t.futureShared[pc] {
+				if t.shr.Shared(ls) && t.shr.HoldsRegLock(ls, wc.w.WarpInCta) {
+					t.shr.ReleaseReg(ls, wc.w.WarpInCta)
 					sm.Stats.EarlyRegRelease++
 				}
 			}
-			wi.WaitingLong = sm.meta[pc].regMask&wc.loadRegs != 0
+			wi.WaitingLong = t.meta[pc].regMask&wc.loadRegs != 0
 		}
 	}
 	return wi
@@ -185,11 +191,13 @@ func (sm *SM) referenceInfo(ws int) sched.WarpInfo {
 	wc := &sm.warps[ws]
 	wi := sched.WarpInfo{Slot: ws}
 	if wc.live && !wc.finished && !wc.atBarrier {
+		bs := wc.w.BlockSlot
+		t := &sm.tens[sm.blocks[bs].tn]
 		wi.HasWork = true
 		wi.DynID = wc.w.DynID
-		wi.Category = sm.shr.Category(wc.w.BlockSlot)
+		wi.Category = t.shr.Category(bs - t.blockBase)
 		if pc, _, ok := wc.w.PC(); ok {
-			in := &sm.launch.Kernel.Instrs[pc]
+			in := &t.launch.Kernel.Instrs[pc]
 			need, _ := sm.dependencyMasks(in)
 			wi.WaitingLong = need&wc.loadRegs != 0
 		}

@@ -15,7 +15,6 @@ import (
 	"gpushare/internal/kernel"
 	"gpushare/internal/mem"
 	"gpushare/internal/mem/cache"
-	"gpushare/internal/opt/liveness"
 	"gpushare/internal/sched"
 	"gpushare/internal/stats"
 	"gpushare/internal/warp"
@@ -46,6 +45,7 @@ type warpCtx struct {
 	live      bool
 	finished  bool
 	atBarrier bool
+	tn        int32 // index into sm.tens of the owning tenant (static)
 
 	pendingRegs  uint64 // registers with outstanding writes
 	pendingPreds uint8
@@ -57,7 +57,10 @@ type warpCtx struct {
 	gen uint32
 }
 
-// blockCtx is one hardware thread-block slot.
+// blockCtx is one hardware thread-block slot. tn, warpBase, and wpb are
+// static slot geometry assigned at SM construction (which tenant owns
+// the slot and which warp slots serve it); LaunchBlock preserves them
+// across occupants.
 type blockCtx struct {
 	live        bool
 	ctaID       int
@@ -65,6 +68,10 @@ type blockCtx struct {
 	activeWarps int // warps not yet finished
 	arrived     int // warps waiting at the current barrier
 	env         warp.Env
+
+	tn       int // index into sm.tens of the owning tenant
+	warpBase int // first warp slot serving this block slot
+	wpb      int // warps per block for the owning tenant's kernel
 }
 
 // SM is one streaming multiprocessor.
@@ -72,10 +79,11 @@ type SM struct {
 	ID  int
 	cfg *config.Config
 
-	launch        *kernel.Launch
-	occ           core.Occupancy
-	shr           *core.Manager
-	warpsPerBlock int
+	// tens holds the tenants co-resident on this SM (tenant.go). The
+	// single-tenant path built through New is tens of length 1; all
+	// per-kernel state — launch, occupancy, sharing manager, issue
+	// metadata — lives per tenant.
+	tens []tenantCtx
 
 	warps  []warpCtx
 	blocks []blockCtx
@@ -86,12 +94,12 @@ type SM struct {
 	// ready ranking (sched.Incremental), nil otherwise.
 	incr []sched.Incremental
 
-	// Ready-set issue engine (meta.go). meta is the static per-PC issue
-	// metadata; schedInfo[i] caches scheduler i's warp views (position-
-	// parallel to schedWarps[i], so the per-scheduler buffers can never
-	// alias); dirty/dirtyList queue warps whose snapshot inputs changed;
-	// slotSched/slotPos map a warp slot to its scheduler and position.
-	meta       []metaEntry
+	// Ready-set issue engine (meta.go). The static per-PC issue
+	// metadata lives in each tenantCtx; schedInfo[i] caches scheduler
+	// i's warp views (position-parallel to schedWarps[i], so the per-
+	// scheduler buffers can never alias); dirty/dirtyList queue warps
+	// whose snapshot inputs changed; slotSched/slotPos map a warp slot
+	// to its scheduler and position.
 	schedInfo  [][]sched.WarpInfo
 	schedOrder [][]int
 	dirty      []bool
@@ -122,12 +130,6 @@ type SM struct {
 	outbox []outboundLine
 	gmem   gmemProxy
 
-	// futureShared[pc], when non-nil, is false iff no instruction
-	// reachable from pc touches the shared register pool — the early-
-	// release extension (§VIII) drops a warp's pair lock the moment its
-	// PC reaches such a point.
-	futureShared []bool
-
 	Stats stats.SM
 
 	// scratch buffers reused across cycles
@@ -135,92 +137,31 @@ type SM struct {
 	regBuf  []int
 }
 
-// New builds an SM for a kernel launch. The sharing manager governs the
-// pair slots defined by the occupancy.
+// New builds an SM for a single kernel launch: a one-tenant SM with no
+// resource caps, laid out exactly as the pre-tenancy core. The sharing
+// manager governs the pair slots defined by the occupancy.
 func New(id int, cfg *config.Config, l *kernel.Launch, occ core.Occupancy, ms *mem.System) (*SM, error) {
-	k := l.Kernel
-	if k.RegsPerThread > 64 {
-		return nil, fmt.Errorf("kernel %s: %d registers/thread exceeds the scoreboard's 64-register limit",
-			k.Name, k.RegsPerThread)
-	}
-	wpb := k.WarpsPerBlock()
-	sm := &SM{
-		ID:            id,
-		cfg:           cfg,
-		launch:        l,
-		occ:           occ,
-		shr:           core.NewManager(cfg, occ, wpb),
-		warpsPerBlock: wpb,
-		warps:         make([]warpCtx, occ.Max*wpb),
-		blocks:        make([]blockCtx, occ.Max),
-		l1:            cache.NewWithPolicy(cfg.L1Sets, cfg.L1Ways, cfg.L1LineSz, cfg.L1Policy),
-		mshr:          make(map[uint32][]*loadGroup),
-		memSys:        ms,
-		dynProb:       1,
-		rng:           cfg.Seed ^ (uint64(id)+1)*0x9e3779b97f4a7c15,
-	}
-	sm.gmem.base = ms.Global
-	if cfg.DynWarp && id == 0 {
-		// SM0 is the reference SM: non-owner memory instructions are
-		// disabled on it (§IV-C).
-		sm.dynProb = 0
-	}
-	if cfg.EarlyRegRelease && cfg.Sharing == config.ShareRegisters && occ.Pairs > 0 {
-		sm.futureShared = liveness.FutureSharedUse(k, occ.PrivateRegs)
-	}
-	for i := range sm.warps {
-		sm.warps[i].w = warp.NewState(k.RegsPerThread, 0)
-		sm.warps[i].w.ID = i
-	}
-	for i := 0; i < cfg.NumSchedulers; i++ {
-		sm.scheds = append(sm.scheds, sched.New(cfg.Sched, cfg.TwoLevelGroup))
-		sm.schedWarps = append(sm.schedWarps, nil)
-	}
-	for ws := range sm.warps {
-		s := ws % cfg.NumSchedulers
-		sm.schedWarps[s] = append(sm.schedWarps[s], ws)
-	}
-
-	sm.meta = sm.buildMeta()
-	sm.noSnapshot = cfg.NoSnapshot || envNoSnapshot()
-	sm.dirty = make([]bool, len(sm.warps))
-	sm.slotSched = make([]int32, len(sm.warps))
-	sm.slotPos = make([]int32, len(sm.warps))
-	for si := range sm.scheds {
-		n := len(sm.schedWarps[si])
-		info := make([]sched.WarpInfo, n)
-		for pos, ws := range sm.schedWarps[si] {
-			info[pos] = sched.WarpInfo{Slot: ws}
-			sm.slotSched[ws] = int32(si)
-			sm.slotPos[ws] = int32(pos)
-		}
-		sm.schedInfo = append(sm.schedInfo, info)
-		sm.schedOrder = append(sm.schedOrder, make([]int, 0, n))
-		sm.dirtyList = append(sm.dirtyList, make([]int32, 0, n))
-		inc, _ := sm.scheds[si].(sched.Incremental)
-		if sm.noSnapshot {
-			inc = nil // legacy ranking everywhere on the recompute path
-		}
-		sm.incr = append(sm.incr, inc)
-	}
-	return sm, nil
+	return NewMulti(id, cfg, []TenantLaunch{{Launch: l, Occ: occ}}, ms)
 }
 
 // SetFaults arms a fault-injection plan on this SM and its sharing
-// manager (invariant-checker tests only).
+// managers (invariant-checker tests only).
 func (sm *SM) SetFaults(p *fault.Plan) {
 	sm.faults = p
-	sm.shr.Faults = p
+	for i := range sm.tens {
+		sm.tens[i].shr.Faults = p
+	}
 }
 
-// Occupancy returns the SM's occupancy plan.
-func (sm *SM) Occupancy() core.Occupancy { return sm.occ }
+// Occupancy returns the SM's occupancy plan (first tenant's on a
+// multi-tenant SM; per-tenant plans come from TenantStats/TenantSlots).
+func (sm *SM) Occupancy() core.Occupancy { return sm.tens[0].occ }
 
 // L1Stats returns the SM's L1 cache counters.
 func (sm *SM) L1Stats() *stats.Cache { return &sm.l1.Stats }
 
-// Sharing returns the SM's sharing manager (for tests).
-func (sm *SM) Sharing() *core.Manager { return sm.shr }
+// Sharing returns the first tenant's sharing manager (for tests).
+func (sm *SM) Sharing() *core.Manager { return sm.tens[0].shr }
 
 // SetDynProb sets the probability of issuing non-owner memory
 // instructions (dynamic warp execution controller).
@@ -266,17 +207,24 @@ func (sm *SM) FinishedSlots() []int {
 // into a slot that still runs a live block is a dispatcher invariant
 // violation and is reported as an error.
 func (sm *SM) LaunchBlock(slot, ctaID int) error {
-	k := sm.launch.Kernel
 	b := &sm.blocks[slot]
+	t := &sm.tens[b.tn]
+	k := t.launch.Kernel
 	if b.live {
 		return fmt.Errorf("SM%d: double launch of CTA %d into live slot %d (occupied by CTA %d)",
 			sm.ID, ctaID, slot, b.ctaID)
+	}
+	if err := sm.chargeBlock(t, slot); err != nil {
+		return err
 	}
 	*b = blockCtx{
 		live:        true,
 		ctaID:       ctaID,
 		smem:        b.smem,
-		activeWarps: sm.warpsPerBlock,
+		activeWarps: t.wpb,
+		tn:          b.tn,
+		warpBase:    b.warpBase,
+		wpb:         b.wpb,
 	}
 	if k.SmemPerBlock > 0 {
 		if b.smem == nil || len(b.smem) < k.SmemPerBlock+4 {
@@ -287,25 +235,25 @@ func (sm *SM) LaunchBlock(slot, ctaID int) error {
 		}
 	}
 	ctaX, ctaY := ctaID, 0
-	if sm.launch.GridDimY > 1 {
-		ctaX, ctaY = ctaID%sm.launch.GridDim, ctaID/sm.launch.GridDim
+	if t.launch.GridDimY > 1 {
+		ctaX, ctaY = ctaID%t.launch.GridDim, ctaID/t.launch.GridDim
 	}
 	b.env = warp.Env{
 		CtaID:     ctaX,
 		CtaIDY:    ctaY,
-		GridDim:   sm.launch.GridDim,
-		GridDimY:  sm.launch.GridDimY,
+		GridDim:   t.launch.GridDim,
+		GridDimY:  t.launch.GridDimY,
 		BlockDim:  k.BlockDim,
 		BlockDimY: k.BlockDimY,
-		Params:    sm.launch.Params,
+		Params:    t.launch.Params,
 		Gmem:      &sm.gmem,
 		Smem:      b.smem,
 	}
 	threadsLeft := k.Threads()
-	for wi := 0; wi < sm.warpsPerBlock; wi++ {
+	for wi := 0; wi < t.wpb; wi++ {
 		lanes := min(threadsLeft, kernel.WarpSize)
 		threadsLeft -= lanes
-		wc := &sm.warps[slot*sm.warpsPerBlock+wi]
+		wc := &sm.warps[b.warpBase+wi]
 		wc.w.Reset(warp.LanesMask(lanes))
 		wc.w.BlockSlot = slot
 		wc.w.WarpInCta = wi
@@ -321,7 +269,8 @@ func (sm *SM) LaunchBlock(slot, ctaID int) error {
 	}
 	sm.markBlockDirty(slot)
 	sm.Stats.BlocksLaunched++
-	if sm.shr.Shared(slot) {
+	t.st.BlocksLaunched++
+	if t.shr.Shared(slot - t.blockBase) {
 		sm.Stats.BlocksShared++
 	}
 	if n := sm.ActiveBlocks(); n > sm.Stats.MaxResidentTB {

@@ -84,6 +84,7 @@ func (sm *SM) Tick(now int64) (bool, error) {
 	for i := range sm.warps {
 		if sm.warps[i].live && sm.warps[i].atBarrier {
 			sm.Stats.BarrierWaits++
+			sm.tens[sm.blocks[sm.warps[i].w.BlockSlot].tn].st.BarrierWaits++
 		}
 	}
 	return issued > 0, nil
@@ -129,16 +130,15 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int, er
 	if !ok {
 		return false, blockNone, nil
 	}
-	in := &sm.launch.Kernel.Instrs[pc]
-	me := &sm.meta[pc]
-	bs := wc.w.BlockSlot
-	b := &sm.blocks[bs]
+	t := &sm.tens[wc.tn]
+	me := &t.meta[pc]
 
 	// Scoreboard: RAW on pending writes, WAW on the destination. The
 	// warp has issued everything before this instruction and waits for
 	// a result: a data wait, not a pipeline stall.
 	if me.regMask&wc.pendingRegs != 0 || me.predMask&wc.pendingPreds != 0 {
 		sm.Stats.BlockScoreboard++
+		t.st.BlockScoreboard++
 		return false, blockData, nil
 	}
 
@@ -147,31 +147,40 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int, er
 	case isa.UnitSFU:
 		if *sfuUsed {
 			sm.Stats.BlockUnit++
+			t.st.BlockUnit++
 			return false, blockStructural, nil
 		}
 	case isa.UnitMEM:
 		if *memUsed || now < sm.lsuBusy {
 			sm.Stats.BlockUnit++
+			t.st.BlockUnit++
 			return false, blockStructural, nil
 		}
 		if me.flags&metaGlobalMem != 0 && len(sm.mshr) >= sm.cfg.L1MSHRs {
 			sm.Stats.BlockMemPipe++
+			t.st.BlockMemPipe++
 			return false, blockStructural, nil
 		}
 	}
+
+	bs := wc.w.BlockSlot
+	b := &sm.blocks[bs]
+	ls := bs - t.blockBase
+	in := &t.instrs[pc]
 
 	// Register sharing: instructions touching the shared register pool
 	// need the warp-pair lock (Fig. 3). A successful acquire can change
 	// pair ownership, which changes the Category of every warp on both
 	// sides — the epoch comparison catches that and dirties the pair.
-	if sm.shr.RegLockNeededStatic(bs, me.flags&metaSharedPool != 0) {
-		epoch := sm.shr.Epoch()
-		if !sm.shr.TryAcquireReg(bs, wc.w.WarpInCta) {
+	if t.shr.RegLockNeededStatic(ls, me.flags&metaSharedPool != 0) {
+		epoch := t.shr.Epoch()
+		if !t.shr.TryAcquireReg(ls, wc.w.WarpInCta) {
 			sm.Stats.BlockLockWait++
+			t.st.BlockLockWait++
 			sm.Stats.SharedRegWaits++
 			return false, blockStructural, nil
 		}
-		if sm.shr.Epoch() != epoch {
+		if t.shr.Epoch() != epoch {
 			sm.markPairDirty(bs)
 		}
 	}
@@ -182,14 +191,15 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int, er
 	var smemActive uint32
 	if me.flags&metaSharedMem != 0 {
 		smemActive = wc.w.EffAddrs(in, &b.env, &smemAddrs)
-		if sm.shr.SmemNeedsLock(bs, &smemAddrs, smemActive) {
-			epoch := sm.shr.Epoch()
-			if !sm.shr.TryAcquireSmem(bs) {
+		if t.shr.SmemNeedsLock(ls, &smemAddrs, smemActive) {
+			epoch := t.shr.Epoch()
+			if !t.shr.TryAcquireSmem(ls) {
 				sm.Stats.BlockLockWait++
+				t.st.BlockLockWait++
 				sm.Stats.SharedMemWaits++
 				return false, blockStructural, nil
 			}
-			if sm.shr.Epoch() != epoch {
+			if t.shr.Epoch() != epoch {
 				sm.markPairDirty(bs)
 			}
 		}
@@ -198,9 +208,10 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int, er
 	// Dynamic warp execution: probabilistically gate global-memory
 	// instructions from non-owner warps (§IV-C).
 	if sm.cfg.DynWarp && me.flags&metaGlobalMem != 0 &&
-		sm.shr.Category(bs) == core.CatNonOwner {
+		t.shr.Category(ls) == core.CatNonOwner {
 		if sm.dynProb <= 0 || sm.randFloat() >= sm.dynProb {
 			sm.Stats.BlockDynGate++
+			t.st.BlockDynGate++
 			return false, blockStructural, nil
 		}
 	}
@@ -214,7 +225,10 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int, er
 		}
 	}
 	sm.Stats.WarpInstrs++
-	sm.Stats.ThreadInstrs += int64(warp.PopCount(res.Active))
+	t.st.WarpInstrs++
+	active := int64(warp.PopCount(res.Active))
+	sm.Stats.ThreadInstrs += active
+	t.st.ThreadInstrs += active
 
 	switch {
 	case res.Kind == warp.ResBarrier:
@@ -259,7 +273,7 @@ func (sm *SM) tryIssue(ws int, now int64, memUsed, sfuUsed *bool) (bool, int, er
 	}
 
 	if res.Finished {
-		sm.warpFinished(ws)
+		sm.warpFinished(ws, now)
 		if sm.faults.Trip(fault.StaleSnapshot, now, sm.ID, ws,
 			"warp finished but its scheduler snapshot was not invalidated") {
 			// Injected fault: the scheduler keeps a ready snapshot for a
@@ -427,23 +441,26 @@ func (sm *SM) checkBarrier(bs int) {
 		return
 	}
 	b.arrived = 0
-	for wi := 0; wi < sm.warpsPerBlock; wi++ {
-		wc := &sm.warps[bs*sm.warpsPerBlock+wi]
+	for wi := 0; wi < b.wpb; wi++ {
+		wc := &sm.warps[b.warpBase+wi]
 		if wc.live && !wc.finished {
 			wc.atBarrier = false
-			sm.markDirty(bs*sm.warpsPerBlock + wi)
+			sm.markDirty(b.warpBase + wi)
 		}
 	}
 }
 
 // warpFinished handles a warp's completion: sharing locks release, the
-// block's barrier may unblock, and the block may complete.
-func (sm *SM) warpFinished(ws int) {
+// block's barrier may unblock, and the block may complete (returning
+// its cap charges to the tenant's ledger).
+func (sm *SM) warpFinished(ws int, now int64) {
 	wc := &sm.warps[ws]
 	wc.finished = true
 	bs := wc.w.BlockSlot
-	sm.shr.WarpFinished(bs, wc.w.WarpInCta)
 	b := &sm.blocks[bs]
+	t := &sm.tens[b.tn]
+	ls := bs - t.blockBase
+	t.shr.WarpFinished(ls, wc.w.WarpInCta)
 	b.activeWarps--
 	if b.activeWarps > 0 {
 		sm.checkBarrier(bs)
@@ -451,24 +468,29 @@ func (sm *SM) warpFinished(ws int) {
 	}
 	// Block complete.
 	b.live = false
-	partner := sm.shr.PartnerSlot(bs)
-	partnerLive := partner >= 0 && sm.blocks[partner].live
-	epoch := sm.shr.Epoch()
-	sm.shr.BlockFinished(bs, partnerLive)
-	if sm.shr.Epoch() != epoch && partnerLive {
+	partner := t.shr.PartnerSlot(ls)
+	partnerLive := partner >= 0 && sm.blocks[t.blockBase+partner].live
+	epoch := t.shr.Epoch()
+	t.shr.BlockFinished(ls, partnerLive)
+	if t.shr.Epoch() != epoch && partnerLive {
 		// Ownership transferred: the partner block's warps changed
 		// Category. The finishing block's own warps are all finished
 		// (HasWork false regardless of Category) and are dirtied by
 		// their own finishing issue.
-		sm.markBlockDirty(partner)
+		sm.markBlockDirty(t.blockBase + partner)
 	}
+	sm.releaseBlock(t, bs, partnerLive, now, ws)
 	sm.finished = append(sm.finished, bs)
 }
 
 // FinalizeStats copies sharing-manager counters into the SM statistics.
 func (sm *SM) FinalizeStats() {
-	sm.Stats.LockAcquires = sm.shr.LockAcquires
-	sm.Stats.OwnershipXfers = sm.shr.OwnershipXfers
+	sm.Stats.LockAcquires = 0
+	sm.Stats.OwnershipXfers = 0
+	for i := range sm.tens {
+		sm.Stats.LockAcquires += sm.tens[i].shr.LockAcquires
+		sm.Stats.OwnershipXfers += sm.tens[i].shr.OwnershipXfers
+	}
 	sm.Stats.DynProbFinal = sm.dynProb
 }
 

@@ -69,6 +69,70 @@ func (s *SM) ScaleForward(base *SM, k int64) {
 	s.CoalescedAccess += (s.CoalescedAccess - base.CoalescedAccess) * k
 }
 
+// Tenant holds per-tenant counters for a multi-kernel run
+// (internal/tenancy): enough to compute a tenant's IPC, stall
+// breakdown, and achieved occupancy independently of its co-residents.
+// Single-kernel runs carry no Tenant entries.
+type Tenant struct {
+	Name     string // tenant label (defaults to the workload name)
+	Workload string // workload registry name, when known
+
+	// Cycles is the tenant's makespan: the global cycle at which its
+	// last thread block drained. The whole-run g.Cycles divided into
+	// per-tenant ThreadInstrs overstates slowdown for tenants that
+	// finish early; ThreadInstrs/Cycles here is the tenant's own IPC.
+	Cycles int64
+
+	WarpInstrs   int64
+	ThreadInstrs int64
+
+	// Issue-blocking reasons, counted per blocked warp-consideration of
+	// this tenant's warps (same semantics as the SM counters).
+	BlockScoreboard int64
+	BlockUnit       int64
+	BlockLockWait   int64
+	BlockDynGate    int64
+	BlockMemPipe    int64
+
+	BlocksLaunched  int64
+	BlocksCompleted int64
+	BarrierWaits    int64
+
+	MaxResidentTB int // peak live blocks, summed over hosting SMs
+	ResidentSlots int // block slots granted by the placement, summed over SMs
+	SMs           int // number of SMs hosting the tenant
+}
+
+// IPC returns the tenant's thread instructions per cycle of its own
+// makespan.
+func (t *Tenant) IPC() float64 {
+	if t.Cycles == 0 {
+		return 0
+	}
+	return float64(t.ThreadInstrs) / float64(t.Cycles)
+}
+
+// AddCounters accumulates another Tenant's event counters into t.
+// Identity fields, MaxResidentTB, ResidentSlots, and SMs are left
+// alone (they are not additive across SMs or slices); Cycles keeps the
+// maximum. Used to sum one tenant's per-SM and per-slice counters into
+// its run total.
+func (t *Tenant) AddCounters(o *Tenant) {
+	if o.Cycles > t.Cycles {
+		t.Cycles = o.Cycles
+	}
+	t.WarpInstrs += o.WarpInstrs
+	t.ThreadInstrs += o.ThreadInstrs
+	t.BlockScoreboard += o.BlockScoreboard
+	t.BlockUnit += o.BlockUnit
+	t.BlockLockWait += o.BlockLockWait
+	t.BlockDynGate += o.BlockDynGate
+	t.BlockMemPipe += o.BlockMemPipe
+	t.BlocksLaunched += o.BlocksLaunched
+	t.BlocksCompleted += o.BlocksCompleted
+	t.BarrierWaits += o.BarrierWaits
+}
+
 // Cache holds hit/miss counters for one cache.
 type Cache struct {
 	Accesses int64
@@ -121,6 +185,13 @@ type GPU struct {
 	DRAM DRAM  // summed over partitions
 
 	ResidentTB int // resident thread blocks per SM at steady state
+
+	// Tenants carries per-tenant breakdowns for multi-kernel runs
+	// (internal/tenancy), in the run's tenant order. Nil for
+	// single-kernel runs — the omitempty tag keeps their canonical
+	// encoding byte-identical to pre-tenancy revisions, so existing
+	// cache entries and determinism witnesses stay valid.
+	Tenants []Tenant `json:",omitempty"`
 }
 
 // TotalThreadInstrs sums thread instructions over all SMs.
@@ -229,6 +300,31 @@ func (g *GPU) Merge(other *GPU) {
 	g.DRAM.Add(&other.DRAM)
 	if other.ResidentTB > g.ResidentTB {
 		g.ResidentTB = other.ResidentTB
+	}
+	for i := range other.Tenants {
+		o := &other.Tenants[i]
+		if i == len(g.Tenants) {
+			g.Tenants = append(g.Tenants, Tenant{
+				Name: o.Name, Workload: o.Workload,
+				MaxResidentTB: o.MaxResidentTB,
+				ResidentSlots: o.ResidentSlots, SMs: o.SMs,
+			})
+		}
+		m := &g.Tenants[i]
+		m.Cycles += o.Cycles // sweep total, like g.Cycles
+		m.WarpInstrs += o.WarpInstrs
+		m.ThreadInstrs += o.ThreadInstrs
+		m.BlockScoreboard += o.BlockScoreboard
+		m.BlockUnit += o.BlockUnit
+		m.BlockLockWait += o.BlockLockWait
+		m.BlockDynGate += o.BlockDynGate
+		m.BlockMemPipe += o.BlockMemPipe
+		m.BlocksLaunched += o.BlocksLaunched
+		m.BlocksCompleted += o.BlocksCompleted
+		m.BarrierWaits += o.BarrierWaits
+		if o.MaxResidentTB > m.MaxResidentTB {
+			m.MaxResidentTB = o.MaxResidentTB
+		}
 	}
 }
 

@@ -1,0 +1,322 @@
+package tenancy
+
+import (
+	"fmt"
+	"math"
+
+	"gpushare/internal/config"
+	"gpushare/internal/core"
+	"gpushare/internal/kernel"
+)
+
+// TenantAlloc is one tenant's grant on one SM: the block-slot structure
+// (as a per-tenant occupancy the SM core reuses for its sharing pairs)
+// and the hard resource budgets backing it.
+type TenantAlloc struct {
+	Tenant  int // index into Spec.Tenants
+	Occ     core.Occupancy
+	Regs    int // register budget on this SM (0 = uncapped, spatial only)
+	Smem    int // scratchpad byte budget on this SM (0 = uncapped)
+	Threads int // resident-thread budget on this SM
+}
+
+// SMPlan lists the tenants granted slots on one SM, in tenant order.
+type SMPlan struct {
+	Tenants []TenantAlloc
+}
+
+// Placement is the admission layer's output: for every SM, which
+// tenants run there and under what budgets.
+type Placement struct {
+	SMs []SMPlan
+}
+
+// Slots returns the total block slots granted to tenant ti.
+func (p *Placement) Slots(ti int) int {
+	n := 0
+	for si := range p.SMs {
+		for _, ta := range p.SMs[si].Tenants {
+			if ta.Tenant == ti {
+				n += ta.Occ.Max
+			}
+		}
+	}
+	return n
+}
+
+// String summarizes the placement for logs.
+func (p *Placement) String() string {
+	s := ""
+	for si := range p.SMs {
+		if len(p.SMs[si].Tenants) == 0 {
+			continue
+		}
+		s += fmt.Sprintf("SM%d:", si)
+		for _, ta := range p.SMs[si].Tenants {
+			s += fmt.Sprintf(" t%d×%d", ta.Tenant, ta.Occ.Max)
+		}
+		s += "\n"
+	}
+	return s
+}
+
+// tenantShape is the per-tenant packing profile derived from the solo
+// occupancy: block footprints and how blocks pair up under the paper's
+// sharing mechanism.
+type tenantShape struct {
+	regsPerBlock int
+	smemPerBlock int
+	threads      int
+	solo         core.Occupancy
+	// pairs is true when this tenant's kernel profits from the active
+	// sharing mode (its solo occupancy forms pairs): blocks beyond the
+	// solo unshared count pair up two-by-two, and the second side of a
+	// pair costs only the shared-dimension top-up ⌈t·r⌉ instead of a
+	// full allocation.
+	pairs     bool
+	pairTop   int  // ⌈t·footprint⌉ on the shared dimension
+	shareRegs bool // pairs share registers (else scratchpad)
+	maxBlocks int  // per-SM slot cap: the solo occupancy's Max
+	want      int  // total slots worth granting (grid size cap)
+}
+
+// blockCost returns the incremental resource cost of tenant shape t's
+// j-th block on an SM (0-indexed within that SM): full footprint for
+// unshared and pair-opening blocks, the ⌈t·r⌉ top-up on the shared
+// dimension for pair-completing blocks.
+func (t *tenantShape) blockCost(j int) (regs, smem, threads int) {
+	regs, smem, threads = t.regsPerBlock, t.smemPerBlock, t.threads
+	if t.pairs && j >= t.solo.Unshared && (j-t.solo.Unshared)%2 == 1 {
+		if t.shareRegs {
+			regs = t.pairTop
+		} else {
+			smem = t.pairTop
+		}
+	}
+	return regs, smem, threads
+}
+
+// occFor builds the occupancy for c blocks of this tenant on one SM:
+// the solo layout truncated to c slots, with a dangling pair-opener
+// reclassified as unshared (it holds a full allocation either way).
+func (t *tenantShape) occFor(c int) core.Occupancy {
+	occ := t.solo
+	u := c
+	p := 0
+	if t.pairs && c > t.solo.Unshared {
+		r := c - t.solo.Unshared
+		p = r / 2
+		u = t.solo.Unshared + r%2
+	}
+	occ.Max = c
+	occ.Unshared = u
+	occ.Pairs = p
+	occ.Baseline = u + p
+	return occ
+}
+
+// grant sums the packed cost of c blocks: the budgets backing the caps.
+func (t *tenantShape) grant(c int) (regs, smem, threads int) {
+	for j := 0; j < c; j++ {
+		r, s, th := t.blockCost(j)
+		regs += r
+		smem += s
+		threads += th
+	}
+	return regs, smem, threads
+}
+
+// shapes derives each tenant's packing profile from its solo occupancy
+// on an unshared SM.
+func shapes(cfg *config.Config, kernels []*kernel.Launch) ([]tenantShape, error) {
+	out := make([]tenantShape, len(kernels))
+	for i, l := range kernels {
+		k := l.Kernel
+		solo := core.ComputeOccupancy(cfg, k)
+		if solo.Baseline == 0 {
+			return nil, fmt.Errorf("tenant %d (%s): kernel is unschedulable on one SM (%s)", i, k.Name, solo.Limiter)
+		}
+		t := tenantShape{
+			regsPerBlock: k.RegsPerBlock(),
+			smemPerBlock: k.SmemPerBlock,
+			threads:      k.Threads(),
+			solo:         solo,
+			maxBlocks:    solo.Max,
+			want:         l.Blocks(),
+		}
+		if solo.Pairs > 0 {
+			t.pairs = true
+			t.shareRegs = cfg.Sharing == config.ShareRegisters
+			base := t.smemPerBlock
+			if t.shareRegs {
+				base = t.regsPerBlock
+			}
+			t.pairTop = int(math.Ceil(cfg.T * float64(base)))
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+// Pack runs the admission layer: it decides, per SM, how many block
+// slots each tenant gets and with what budgets. Spatial partitioning
+// splits the SMs into contiguous disjoint ranges; co-scheduling
+// round-robins one block per tenant per round into the SMs under the
+// spec's bin-packing strategy until nothing more fits. Time-slicing
+// has no spatial placement (each slice owns the whole GPU) and is
+// rejected here.
+func Pack(cfg *config.Config, kernels []*kernel.Launch, spec *Spec) (*Placement, error) {
+	if len(kernels) != len(spec.Tenants) {
+		return nil, fmt.Errorf("placement needs one launch per tenant: %d launches, %d tenants", len(kernels), len(spec.Tenants))
+	}
+	switch spec.Policy {
+	case Spatial:
+		return packSpatial(cfg, kernels)
+	case CoSched:
+		return packCoSched(cfg, kernels, spec.Packing)
+	case TimeSlice:
+		return nil, fmt.Errorf("timeslice policy has no spatial placement (each slice owns the whole GPU)")
+	}
+	return nil, fmt.Errorf("invalid tenancy policy %d", uint8(spec.Policy))
+}
+
+// packSpatial gives each tenant a contiguous disjoint SM range with the
+// full per-SM resources (caps unenforced: isolation comes from the
+// disjoint SM sets). SMs divide evenly; the remainder goes to the
+// lowest-indexed tenants.
+func packSpatial(cfg *config.Config, kernels []*kernel.Launch) (*Placement, error) {
+	n := len(kernels)
+	if n > cfg.NumSMs {
+		return nil, fmt.Errorf("spatial partitioning needs one SM per tenant: %d tenants, %d SMs", n, cfg.NumSMs)
+	}
+	pl := &Placement{SMs: make([]SMPlan, cfg.NumSMs)}
+	per, rem := cfg.NumSMs/n, cfg.NumSMs%n
+	sm := 0
+	for ti, l := range kernels {
+		solo := core.ComputeOccupancy(cfg, l.Kernel)
+		if solo.Baseline == 0 {
+			return nil, fmt.Errorf("tenant %d (%s): kernel is unschedulable on one SM (%s)", ti, l.Kernel.Name, solo.Limiter)
+		}
+		count := per
+		if ti < rem {
+			count++
+		}
+		for j := 0; j < count; j++ {
+			pl.SMs[sm].Tenants = append(pl.SMs[sm].Tenants, TenantAlloc{
+				Tenant:  ti,
+				Occ:     solo,
+				Threads: solo.Max * l.Kernel.Threads(),
+			})
+			sm++
+		}
+	}
+	return pl, nil
+}
+
+// smBin tracks one SM's packing state during co-scheduled admission.
+type smBin struct {
+	regs, smem, threads, slots int
+	counts                     []int // blocks placed per tenant
+}
+
+// packCoSched round-robins one block per tenant per round into the SM
+// bins. Each block's cost is its tenant-shaped incremental footprint;
+// fit is checked against all four SM capacities plus the tenant's
+// per-SM slot cap (its solo occupancy). The strategy picks among the
+// fitting SMs; rounds continue until a full round places nothing.
+func packCoSched(cfg *config.Config, kernels []*kernel.Launch, strategy Packing) (*Placement, error) {
+	shs, err := shapes(cfg, kernels)
+	if err != nil {
+		return nil, err
+	}
+	bins := make([]smBin, cfg.NumSMs)
+	for i := range bins {
+		bins[i].counts = make([]int, len(shs))
+	}
+	placed := make([]int, len(shs))
+	for progress := true; progress; {
+		progress = false
+		for ti := range shs {
+			t := &shs[ti]
+			if placed[ti] >= t.want {
+				continue
+			}
+			si := pickSM(cfg, bins, t, ti, strategy)
+			if si < 0 {
+				continue
+			}
+			r, s, th := t.blockCost(bins[si].counts[ti])
+			bins[si].regs += r
+			bins[si].smem += s
+			bins[si].threads += th
+			bins[si].slots++
+			bins[si].counts[ti]++
+			placed[ti]++
+			progress = true
+		}
+	}
+	for ti, n := range placed {
+		if n == 0 {
+			return nil, fmt.Errorf("admission failed: tenant %d (%s) fits on no SM under %s packing",
+				ti, kernels[ti].Kernel.Name, strategy)
+		}
+	}
+	pl := &Placement{SMs: make([]SMPlan, cfg.NumSMs)}
+	for si := range bins {
+		for ti := range shs {
+			c := bins[si].counts[ti]
+			if c == 0 {
+				continue
+			}
+			t := &shs[ti]
+			gr, gs, gth := t.grant(c)
+			pl.SMs[si].Tenants = append(pl.SMs[si].Tenants, TenantAlloc{
+				Tenant:  ti,
+				Occ:     t.occFor(c),
+				Regs:    gr,
+				Smem:    gs,
+				Threads: gth,
+			})
+		}
+	}
+	return pl, nil
+}
+
+// pickSM returns the SM the strategy places tenant t's next block on,
+// or -1 when no SM fits. Ties break toward the lowest SM index, so
+// every strategy is deterministic.
+func pickSM(cfg *config.Config, bins []smBin, t *tenantShape, ti int, strategy Packing) int {
+	best := -1
+	var bestSlack float64
+	for si := range bins {
+		b := &bins[si]
+		if b.counts[ti] >= t.maxBlocks {
+			continue
+		}
+		r, s, th := t.blockCost(b.counts[ti])
+		if b.regs+r > cfg.RegsPerSM || b.smem+s > cfg.SmemPerSM ||
+			b.threads+th > cfg.MaxThreadsPerSM || b.slots+1 > cfg.MaxBlocksPerSM {
+			continue
+		}
+		if strategy == FirstFit {
+			return si
+		}
+		slack := normSlack(cfg, b, r, s, th)
+		if best < 0 ||
+			(strategy == BestFit && slack < bestSlack) ||
+			(strategy == WorstFit && slack > bestSlack) {
+			best, bestSlack = si, slack
+		}
+	}
+	return best
+}
+
+// normSlack is the normalized remaining capacity of a bin after a
+// hypothetical placement, summed over the four resource dimensions.
+func normSlack(cfg *config.Config, b *smBin, r, s, th int) float64 {
+	slack := float64(cfg.RegsPerSM-b.regs-r) / float64(cfg.RegsPerSM)
+	slack += float64(cfg.SmemPerSM-b.smem-s) / float64(cfg.SmemPerSM)
+	slack += float64(cfg.MaxThreadsPerSM-b.threads-th) / float64(cfg.MaxThreadsPerSM)
+	slack += float64(cfg.MaxBlocksPerSM-b.slots-1) / float64(cfg.MaxBlocksPerSM)
+	return slack
+}

@@ -1,10 +1,11 @@
-package workloads
+package workloads_test
 
 import (
 	"testing"
 
 	"gpushare/internal/config"
 	"gpushare/internal/gpu"
+	"gpushare/internal/workloads"
 )
 
 // paperOccupancy lists the paper's resident-block counts: baseline
@@ -18,11 +19,11 @@ var paperOccupancy = map[string]struct{ base, shared int }{
 	"backprop2": {6, 6}, "BFS": {3, 3}, "gaussian": {8, 8}, "NN": {8, 8},
 }
 
-func sharingModeFor(s *Spec) config.SharingMode {
+func sharingModeFor(s *workloads.Spec) config.SharingMode {
 	switch s.Set {
-	case Set1:
+	case workloads.Set1:
 		return config.ShareRegisters
-	case Set2:
+	case workloads.Set2:
 		return config.ShareScratchpad
 	default:
 		// Set-3 apps are evaluated under both modes in the paper; either
@@ -32,19 +33,19 @@ func sharingModeFor(s *Spec) config.SharingMode {
 }
 
 func TestRegistryComplete(t *testing.T) {
-	if got := len(All()); got != 19 {
+	if got := len(workloads.All()); got != 19 {
 		t.Fatalf("registry has %d workloads, want 19", got)
 	}
-	if got := len(BySet(Set1)); got != 8 {
+	if got := len(workloads.BySet(workloads.Set1)); got != 8 {
 		t.Errorf("Set-1 has %d workloads, want 8", got)
 	}
-	if got := len(BySet(Set2)); got != 7 {
+	if got := len(workloads.BySet(workloads.Set2)); got != 7 {
 		t.Errorf("Set-2 has %d workloads, want 7", got)
 	}
-	if got := len(BySet(Set3)); got != 4 {
+	if got := len(workloads.BySet(workloads.Set3)); got != 4 {
 		t.Errorf("Set-3 has %d workloads, want 4", got)
 	}
-	for _, s := range All() {
+	for _, s := range workloads.All() {
 		if _, ok := paperOccupancy[s.Name]; !ok {
 			t.Errorf("workload %q missing from paper expectations", s.Name)
 		}
@@ -52,9 +53,9 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 // TestFootprintsMatchSpecs verifies each built kernel carries exactly the
-// resource footprint its Spec (and the paper's tables) declares.
+// resource footprint its workloads.Spec (and the paper's tables) declares.
 func TestFootprintsMatchSpecs(t *testing.T) {
-	for _, s := range All() {
+	for _, s := range workloads.All() {
 		inst := s.Build(1)
 		k := inst.Launch.Kernel
 		if k.BlockDim != s.BlockDim {
@@ -75,7 +76,7 @@ func TestFootprintsMatchSpecs(t *testing.T) {
 // TestOccupancyMatchesPaper checks baseline and 90%-sharing resident
 // block counts against Fig. 1 / Fig. 8 / Tables VI and VIII.
 func TestOccupancyMatchesPaper(t *testing.T) {
-	for _, s := range All() {
+	for _, s := range workloads.All() {
 		want := paperOccupancy[s.Name]
 		inst := s.Build(1)
 
@@ -98,7 +99,7 @@ func TestOccupancyMatchesPaper(t *testing.T) {
 // TestWorkloadsRunAndVerify runs every workload end-to-end under the
 // baseline configuration and validates its functional outputs.
 func TestWorkloadsRunAndVerify(t *testing.T) {
-	for _, s := range All() {
+	for _, s := range workloads.All() {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
 			t.Parallel()
@@ -130,7 +131,7 @@ func TestWorkloadsRunAndVerify(t *testing.T) {
 // sharing mode, OWF, unrolling, and dynamic warp execution enabled:
 // outputs must stay correct.
 func TestWorkloadsCorrectUnderSharing(t *testing.T) {
-	for _, s := range All() {
+	for _, s := range workloads.All() {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
 			t.Parallel()
@@ -171,7 +172,7 @@ func TestEpilogueMicroWorkload(t *testing.T) {
 			cfg.EarlyRegRelease = true
 		}
 		sim := gpu.MustNew(cfg)
-		inst := EpilogueMicro.Build(1)
+		inst := workloads.EpilogueMicro.Build(1)
 		inst.Setup(sim.Mem)
 		g, err := sim.Run(inst.Launch)
 		if err != nil {

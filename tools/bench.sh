@@ -39,8 +39,8 @@ echo "== microbenchmarks (smcore SM tick, scheduler ranking, mem system tick)"
 go test -run '^$' -bench 'BenchmarkSMTick$|BenchmarkSMTickManyWarps$|BenchmarkSchedOrder$|BenchmarkMemSystemTick$' \
     -benchmem -benchtime "$microtime" ./internal/smcore/ ./internal/sched/ ./internal/mem/ | tee "$out"
 
-echo "== end-to-end parallel engine (full hotspot simulation per op)"
-go test -run '^$' -bench 'BenchmarkRunParallelSMs' \
+echo "== end-to-end engine (full hotspot simulation per op; two-tenant co-residency per op)"
+go test -run '^$' -bench 'BenchmarkRunParallelSMs|BenchmarkCoResident' \
     -benchmem -benchtime "$e2etime" -timeout 30m ./internal/gpu/ | tee -a "$out"
 
 # Normalize "BenchmarkFoo-8  N  ns/op  B/op  allocs/op" lines into
@@ -92,7 +92,7 @@ done
 # recorded baseline. The end-to-end engine benchmark is exempt (its
 # wall time depends on worker count and machine load).
 for name in $(echo "$rows" | awk '{print $1}'); do
-    case "$name" in BenchmarkRunParallelSMs*) continue ;; esac
+    case "$name" in BenchmarkRunParallelSMs*|BenchmarkCoResident*) continue ;; esac
     base=$(sed -n "s|.*\"$name\": {[^}]*\"ns_op\": \([0-9]*\).*|\1|p" "$baseline")
     [ -n "$base" ] && [ "$base" -gt 0 ] || continue
     cur=$(echo "$rows" | awk -v n="$name" '$1 == n {printf "%d", $2}')
