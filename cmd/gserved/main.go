@@ -51,6 +51,9 @@ func main() {
 		deadline = flag.Duration("maxdeadline", 10*time.Minute, "cap on client-requested job deadlines")
 		drain    = flag.Duration("drain", 30*time.Second, "graceful drain deadline after SIGTERM")
 		verify   = flag.Bool("verify", false, "re-check functional outputs after fresh simulations")
+		journal  = flag.String("journal", "", "write-ahead job journal file: admissions are fsync'd before queueing, and a killed daemon re-admits unfinished jobs on restart ('' disables)")
+		ckDir    = flag.String("checkpoint-dir", "", "mid-simulation checkpoint directory: retried attempts resume from the last snapshot instead of cycle 0 ('' disables)")
+		ckStride = flag.Int64("checkpoint-stride", 100_000, "cycles between mid-simulation snapshots (with -checkpoint-dir)")
 		smw      = flag.Int("smworkers", 1, "cycle-engine workers inside each simulation (0 = GOMAXPROCS; 1 avoids oversubscribing a busy farm; results identical at any value)")
 		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060; '' disables). Kept off the job API listener so profiling is never exposed with the service port")
 	)
@@ -85,10 +88,13 @@ func main() {
 		MaxBodyBytes:     *maxBody,
 		MaxInFlightBytes: *maxBytes,
 		MaxDeadline:      *deadline,
+		JournalPath:      *journal,
 		Runner: runner.Options{
-			CacheDir: *cacheDir,
-			Timeout:  *timeout,
-			Verify:   *verify,
+			CacheDir:         *cacheDir,
+			Timeout:          *timeout,
+			Verify:           *verify,
+			CheckpointDir:    *ckDir,
+			CheckpointStride: *ckStride,
 		},
 	})
 

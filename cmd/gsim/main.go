@@ -20,12 +20,79 @@ import (
 	"runtime/pprof"
 	"syscall"
 
+	"gpushare/internal/checkpoint"
 	"gpushare/internal/config"
 	"gpushare/internal/gpu"
 	"gpushare/internal/runner"
 	"gpushare/internal/simerr"
 	"gpushare/internal/workloads"
 )
+
+// bisectHang reruns the workload with an in-memory checkpoint trail
+// and, if the run fails (hang, invariant violation, divergence),
+// binary-searches the trail with gpu.Sim.AuditCheckpoint for the first
+// snapshot whose machine state already violates a simulator invariant —
+// localizing the corruption to one checkpoint stride instead of one
+// whole run.
+func bisectHang(ctx context.Context, cfg config.Config, spec *workloads.Spec, scale int) {
+	sink := checkpoint.NewMemSink()
+	sim, err := gpu.New(cfg)
+	fatal(err)
+	sim.CheckpointSink = sink
+	inst := spec.Build(scale)
+	inst.Setup(sim.Mem)
+	g, runErr := sim.RunCtx(ctx, inst.Launch)
+	if runErr == nil {
+		fmt.Printf("run completed cleanly in %d cycles; nothing to bisect\n", g.Cycles)
+		return
+	}
+	if runner.IsCanceled(runErr) {
+		fatalSim(runErr)
+	}
+	cycles := sink.List()
+	fmt.Fprintf(os.Stderr, "gsim: run failed: %v\n", runErr)
+	if len(cycles) == 0 {
+		fmt.Fprintf(os.Stderr, "gsim: no checkpoints were taken before the failure (stride %d)\n", cfg.CheckpointStride)
+		os.Exit(1)
+	}
+	fmt.Printf("bisecting %d checkpoints (cycles %d..%d, stride %d)\n",
+		len(cycles), cycles[0], cycles[len(cycles)-1], cfg.CheckpointStride)
+
+	asim, err := gpu.New(cfg)
+	fatal(err)
+	firstBad, lo, hi := -1, 0, len(cycles)-1
+	var badErr error
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		_, aerr := asim.AuditCheckpoint(inst.Launch, sink.Get(cycles[mid]))
+		fmt.Printf("  cycle %-12d %s\n", cycles[mid], auditVerdict(aerr))
+		if aerr != nil {
+			firstBad, badErr = mid, aerr
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	if firstBad < 0 {
+		fmt.Printf("every checkpoint audits clean: the failure arises after cycle %d\n", cycles[len(cycles)-1])
+		fmt.Printf("rerun with a smaller -checkpoint-stride to narrow it further\n")
+		os.Exit(1)
+	}
+	lastGood := int64(0)
+	if firstBad > 0 {
+		lastGood = cycles[firstBad-1]
+	}
+	fmt.Printf("first corrupt checkpoint: cycle %d (last clean: %d)\n", cycles[firstBad], lastGood)
+	fmt.Printf("audit: %v\n", badErr)
+	os.Exit(1)
+}
+
+func auditVerdict(err error) string {
+	if err == nil {
+		return "clean"
+	}
+	return "VIOLATION"
+}
 
 func main() {
 	var (
@@ -46,6 +113,10 @@ func main() {
 		cacheDir = flag.String("cachedir", "", "on-disk result cache directory: identical runs are served from cache ('' disables; ignored with -trace)")
 		smw      = flag.Int("smworkers", 0, "cycle-engine workers (0 = GOMAXPROCS, 1 = sequential; results identical at any value)")
 		noFF     = flag.Bool("noff", false, "disable the idle fast-forward (debugging; results identical either way)")
+		ckStride = flag.Int64("checkpoint-stride", 0, "write a machine snapshot every N cycles (0 disables; results identical either way)")
+		ckDir    = flag.String("checkpoint-dir", "", "directory for checkpoint files (with -checkpoint-stride; keeps the whole trail)")
+		restore  = flag.String("restore", "", "resume from this checkpoint file instead of cycle 0 (the run must match the checkpoint's workload and config exactly)")
+		bisect   = flag.Bool("bisect-hang", false, "run with in-memory checkpoints and, if the run fails, binary-search the trail for the first snapshot violating a simulator invariant")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf  = flag.String("memprofile", "", "write a post-GC heap profile to this file on exit")
 	)
@@ -99,6 +170,10 @@ func main() {
 	cfg.InvariantStride = *invar
 	cfg.SMWorkers = *smw
 	cfg.NoFastForward = *noFF
+	cfg.CheckpointStride = *ckStride
+	if *bisect && cfg.CheckpointStride <= 0 {
+		cfg.CheckpointStride = 5000
+	}
 
 	sim, err := gpu.New(cfg)
 	fatal(err)
@@ -126,7 +201,25 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	if *cacheDir != "" && *trace == 0 {
+	if *bisect {
+		bisectHang(ctx, cfg, spec, *scale)
+		return
+	}
+
+	if *ckDir != "" && cfg.CheckpointStride > 0 {
+		sink, err := checkpoint.NewDirSink(*ckDir, 0) // keep the whole trail
+		fatal(err)
+		sim.CheckpointSink = sink
+		fmt.Printf("checkpointing every %d cycles into %s\n", cfg.CheckpointStride, sink.Dir())
+	}
+	if *restore != "" {
+		blob, err := os.ReadFile(*restore)
+		fatal(err)
+		sim.RestoreFrom = blob
+		fmt.Printf("resuming from checkpoint %s\n", *restore)
+	}
+
+	if *cacheDir != "" && *trace == 0 && *restore == "" && sim.CheckpointSink == nil {
 		r := runner.New(runner.Options{Workers: 1, CacheDir: *cacheDir, Verify: *verify})
 		res := r.DoCtx(ctx, runner.Job{Workload: spec.Name, Config: cfg, Scale: *scale})
 		fatalSim(res.Err)

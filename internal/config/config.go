@@ -265,6 +265,19 @@ type Config struct {
 	// configuration; it exists as a determinism escape hatch
 	// (GPUSHARE_NOSNAPSHOT=1) and for the equivalence regression tests.
 	NoSnapshot bool `json:"-"`
+
+	// CheckpointStride, when positive, snapshots the full machine state
+	// every that many cycles into the run's checkpoint sink, so a crashed
+	// or preempted run can resume from the last checkpoint instead of
+	// cycle 0. Checkpointing cannot change results — the snapshot is
+	// taken at a cycle boundary and restore is bit-identical, proven by
+	// the determinism gates — so like SMWorkers it is an engine knob
+	// excluded from the canonical configuration and the sim-v1 result
+	// fingerprint: cached results are shared across stride settings. The
+	// idle fast-forward clamps its jump horizon to the next checkpoint
+	// cycle, so every stride-aligned snapshot happens at its exact cycle
+	// even when the engine is skipping idle spans.
+	CheckpointStride int64 `json:"-"`
 }
 
 // Default returns the Table I baseline configuration.
@@ -378,6 +391,8 @@ func (c *Config) Validate() error {
 		return fmt.Errorf("ProgressWindow must be non-negative, got %d", c.ProgressWindow)
 	case c.SMWorkers < 0:
 		return fmt.Errorf("SMWorkers must be non-negative, got %d", c.SMWorkers)
+	case c.CheckpointStride < 0:
+		return fmt.Errorf("CheckpointStride must be non-negative, got %d", c.CheckpointStride)
 	case c.Sched > SchedOWF:
 		return fmt.Errorf("unknown scheduling policy %d", c.Sched)
 	case c.Sharing > ShareScratchpad:

@@ -101,6 +101,10 @@ func TestValidateHardening(t *testing.T) {
 		{"zero DRAM row", func(c *Config) { c.DRAMRowBytes = 0 }, "DRAM geometry"},
 		{"zero DRAM data latency", func(c *Config) { c.DRAMDataLat = 0 }, "DRAM geometry"},
 		{"audit knobs accepted", func(c *Config) { c.InvariantStride = 1024; c.ProgressWindow = 100_000 }, ""},
+		{"negative checkpoint stride", func(c *Config) { c.CheckpointStride = -1 }, "CheckpointStride"},
+		{"negative checkpoint stride large", func(c *Config) { c.CheckpointStride = -4096 }, "CheckpointStride"},
+		{"zero checkpoint stride accepted", func(c *Config) { c.CheckpointStride = 0 }, ""},
+		{"positive checkpoint stride accepted", func(c *Config) { c.CheckpointStride = 2048 }, ""},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -180,5 +184,24 @@ func TestCanonicalJSON(t *testing.T) {
 	b3, _ := c.CanonicalJSON()
 	if string(b1) == string(b3) {
 		t.Error("CanonicalJSON did not change with the configuration")
+	}
+}
+
+// TestCanonicalJSONExcludesEngineKnobs pins the engine-knob exclusion:
+// worker counts, fast-forward, snapshot mode, and the checkpoint stride
+// cannot change results, so they must not change job cache keys.
+func TestCanonicalJSONExcludesEngineKnobs(t *testing.T) {
+	c := Default()
+	base, err := c.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SMWorkers = 7
+	c.NoFastForward = true
+	c.NoSnapshot = true
+	c.CheckpointStride = 4096
+	knobbed, _ := c.CanonicalJSON()
+	if string(base) != string(knobbed) {
+		t.Error("engine knobs leaked into CanonicalJSON (cache keys would fragment)")
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"os"
 	"strconv"
 
+	"gpushare/internal/checkpoint"
 	"gpushare/internal/config"
 	"gpushare/internal/core"
 	"gpushare/internal/fault"
@@ -60,6 +61,21 @@ type Sim struct {
 	// internal bookkeeping event mid-run so the test can assert the
 	// auditor or watchdog catches it.
 	Faults *fault.Plan
+
+	// CheckpointSink, when non-nil and Cfg.CheckpointStride > 0,
+	// receives a full machine snapshot every CheckpointStride cycles
+	// during Run/RunMulti. Sinks may panic with *checkpoint.CrashPoint
+	// under crash-point fault injection; the runner's recovery treats
+	// that like any other mid-run crash.
+	CheckpointSink checkpoint.Sink
+
+	// RestoreFrom, when non-nil, is an encoded checkpoint blob: each Run
+	// resumes from it instead of cycle 0, after verifying it matches
+	// this simulator's revision, configuration, run mode, kernels, and
+	// (for multi-tenant runs) tenancy spec. A mismatched or corrupt blob
+	// fails the run with a typed KindCheckpoint error before any state
+	// is touched.
+	RestoreFrom []byte
 
 	ms *mem.System
 }
@@ -152,23 +168,6 @@ func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) 
 	}
 	chk := invariant.New(stride, invariant.ClassAll, sms, s.ms)
 
-	// Initial fill, slot-major across SMs so blocks spread evenly, as
-	// GPGPU-Sim's breadth-first CTA dispatcher does. Blocks are numbered
-	// linearly (row-major over the 2D grid).
-	totalBlocks := launch.Blocks()
-	nextCTA := 0
-	for slot := 0; slot < occ.Max && nextCTA < totalBlocks; slot++ {
-		for _, sm := range sms {
-			if nextCTA >= totalBlocks {
-				break
-			}
-			if err := sm.LaunchBlock(slot, nextCTA); err != nil {
-				return nil, simerr.Wrap(simerr.KindInvariant, -1, err)
-			}
-			nextCTA++
-		}
-	}
-
 	maxCycles := s.Cfg.MaxCycles
 	if maxCycles <= 0 {
 		maxCycles = defaultMaxCycles
@@ -181,6 +180,56 @@ func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) 
 	dyn := newDynController(&s.Cfg, sms)
 	var pending launchQueue
 	lastProgress := int64(0)
+	totalBlocks := launch.Blocks()
+	nextCTA := 0
+	startAt := int64(0)
+	resumedAt := int64(-1)
+	sink := s.CheckpointSink
+	ckStride := s.Cfg.CheckpointStride
+	if ckStride <= 0 || sink == nil {
+		ckStride, sink = 0, nil
+	}
+	kernels := []string{launch.Kernel.Name}
+
+	if s.RestoreFrom != nil {
+		p, err := s.decodePayload(s.RestoreFrom, modeSingle, kernels, nil)
+		if err != nil {
+			return nil, err
+		}
+		if err := s.restoreMachine(p, sms); err != nil {
+			return nil, err
+		}
+		st := p.Single
+		if len(st.DynLast) != len(sms) || len(st.DynProbs) != len(sms) {
+			return nil, simerr.New(simerr.KindCheckpoint, p.Cycle,
+				"checkpoint dyn-controller state covers %d/%d SMs, run has %d",
+				len(st.DynLast), len(st.DynProbs), len(sms))
+		}
+		copy(dyn.last, st.DynLast)
+		copy(dyn.probs, st.DynProbs)
+		if pending, err = loadQueue(st.Pending, len(sms)); err != nil {
+			return nil, err
+		}
+		nextCTA = st.NextCTA
+		lastProgress = st.LastProgress
+		startAt = p.Cycle
+		resumedAt = p.Cycle
+	} else {
+		// Initial fill, slot-major across SMs so blocks spread evenly, as
+		// GPGPU-Sim's breadth-first CTA dispatcher does. Blocks are numbered
+		// linearly (row-major over the 2D grid).
+		for slot := 0; slot < occ.Max && nextCTA < totalBlocks; slot++ {
+			for _, sm := range sms {
+				if nextCTA >= totalBlocks {
+					break
+				}
+				if err := sm.LaunchBlock(slot, nextCTA); err != nil {
+					return nil, simerr.Wrap(simerr.KindInvariant, -1, err)
+				}
+				nextCTA++
+			}
+		}
+	}
 
 	// Engine selection: a fault plan shares mutable state across SMs, so
 	// fault-injection runs stay on the exact sequential path.
@@ -204,7 +253,31 @@ func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) 
 	ffRetryAt := int64(0) // damping: no arm attempt before this cycle
 
 	var now int64
-	for now = 0; ; now++ {
+	for now = startAt; ; now++ {
+		// Checkpoint at the top of the loop body: the state is exactly
+		// the end of cycle now-1 — staging buffers empty, no scratch
+		// live. The resumedAt guard keeps a restored run from instantly
+		// re-writing the checkpoint it came from.
+		if sink != nil && now > 0 && now%ckStride == 0 && now != resumedAt {
+			p, err := s.newPayload(modeSingle, kernels, nil, now, sms)
+			if err != nil {
+				return nil, err
+			}
+			p.Single = &singleState{
+				NextCTA:      nextCTA,
+				Pending:      saveQueue(&pending),
+				LastProgress: lastProgress,
+				DynLast:      append([]int64(nil), dyn.last...),
+				DynProbs:     append([]float64(nil), dyn.probs...),
+			}
+			blob, err := encodePayload(p)
+			if err != nil {
+				return nil, err
+			}
+			if err := sink.Put(now, blob); err != nil {
+				return nil, simerr.Wrap(simerr.KindCheckpoint, now, err)
+			}
+		}
 		if now >= maxCycles {
 			return nil, s.hangError(simerr.KindMaxCycles, now, sms,
 				fmt.Sprintf("kernel %s exceeded %d cycles", launch.Kernel.Name, maxCycles))
@@ -304,7 +377,7 @@ func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) 
 			// so don't recompute the horizon until then (quiet cycles
 			// under heavy memory traffic would otherwise pay the
 			// horizon walk every cycle for no jump).
-			h := s.eventHorizon(now, sms, &pending, stride, tracing, lastProgress, window, maxCycles)
+			h := s.eventHorizon(now, sms, &pending, stride, ckStride, tracing, lastProgress, window, maxCycles)
 			if h > now+2 {
 				if ffSnap == nil {
 					ffSnap = make([]stats.SM, len(sms))
@@ -370,12 +443,12 @@ func (s *Sim) traceSnapshot(now int64, sms []*smcore.SM, nextCTA, grid int) {
 // L2 hits, DRAM completions and schedulable commands), each SM's next
 // local event (writeback deadlines, LSU busy release), the next pending
 // block launch, and the exact-cycle obligations the jump must not skip
-// over: context polls, invariant audits, trace snapshots, the watchdog
-// deadline, and the MaxCycles abort. Because nothing can change state
-// strictly before the returned cycle, skipping those cycles is exact,
-// not approximate.
+// over: context polls, invariant audits, checkpoint writes, trace
+// snapshots, the watchdog deadline, and the MaxCycles abort. Because
+// nothing can change state strictly before the returned cycle, skipping
+// those cycles is exact, not approximate.
 func (s *Sim) eventHorizon(now int64, sms []*smcore.SM, pending *launchQueue,
-	stride int64, tracing bool, lastProgress, window, maxCycles int64) int64 {
+	stride, ckStride int64, tracing bool, lastProgress, window, maxCycles int64) int64 {
 	h := s.ms.NextEvent(now)
 	if h <= now+2 {
 		return h // too close to arm; skip the per-SM walk
@@ -398,6 +471,9 @@ func (s *Sim) eventHorizon(now int64, sms []*smcore.SM, pending *launchQueue,
 	bound((now/cancelStride + 1) * cancelStride)
 	if stride > 0 {
 		bound((now/stride + 1) * stride)
+	}
+	if ckStride > 0 {
+		bound((now/ckStride + 1) * ckStride)
 	}
 	if tracing {
 		ti := int64(s.Cfg.TraceInterval)

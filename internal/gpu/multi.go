@@ -130,30 +130,71 @@ func (s *Sim) runPlaced(ctx context.Context, spec *tenancy.Spec, launches []*ker
 		totalAll += total[i]
 	}
 
-	// Initial fill: round-robin one local slot depth at a time across
-	// SMs and tenants, the multi-tenant analog of RunCtx's slot-major
-	// breadth-first dispatch.
-	for r := 0; ; r++ {
-		any := false
-		for _, sm := range sms {
-			for li := 0; li < sm.Tenants(); li++ {
-				base, cnt := sm.TenantSlots(li)
-				if r >= cnt {
-					continue
-				}
-				ti := sm.TenantID(li)
-				if next[ti] >= total[ti] {
-					continue
-				}
-				if err := sm.LaunchBlock(base+r, next[ti]); err != nil {
-					return nil, simerr.Wrap(simerr.KindInvariant, -1, err)
-				}
-				next[ti]++
-				any = true
-			}
+	var pending launchQueue
+	lastProgress := int64(0)
+	doneAll := 0
+	startAt := int64(0)
+	resumedAt := int64(-1)
+	sink := s.CheckpointSink
+	ckStride := s.Cfg.CheckpointStride
+	if ckStride <= 0 || sink == nil {
+		ckStride, sink = 0, nil
+	}
+	kernels := make([]string, n)
+	for i, l := range launches {
+		kernels[i] = l.Kernel.Name
+	}
+
+	if s.RestoreFrom != nil {
+		p, err := s.decodePayload(s.RestoreFrom, modePlaced, kernels, spec)
+		if err != nil {
+			return nil, err
 		}
-		if !any {
-			break
+		if err := s.restoreMachine(p, sms); err != nil {
+			return nil, err
+		}
+		st := p.Placed
+		if len(st.Next) != n || len(st.Completed) != n || len(st.Done) != n {
+			return nil, simerr.New(simerr.KindCheckpoint, p.Cycle,
+				"checkpoint dispatch ledgers cover %d/%d/%d tenants, run has %d",
+				len(st.Next), len(st.Completed), len(st.Done), n)
+		}
+		copy(next, st.Next)
+		copy(completed, st.Completed)
+		copy(done, st.Done)
+		doneAll = st.DoneAll
+		if pending, err = loadQueue(st.Pending, len(sms)); err != nil {
+			return nil, err
+		}
+		lastProgress = st.LastProgress
+		startAt = p.Cycle
+		resumedAt = p.Cycle
+	} else {
+		// Initial fill: round-robin one local slot depth at a time across
+		// SMs and tenants, the multi-tenant analog of RunCtx's slot-major
+		// breadth-first dispatch.
+		for r := 0; ; r++ {
+			any := false
+			for _, sm := range sms {
+				for li := 0; li < sm.Tenants(); li++ {
+					base, cnt := sm.TenantSlots(li)
+					if r >= cnt {
+						continue
+					}
+					ti := sm.TenantID(li)
+					if next[ti] >= total[ti] {
+						continue
+					}
+					if err := sm.LaunchBlock(base+r, next[ti]); err != nil {
+						return nil, simerr.Wrap(simerr.KindInvariant, -1, err)
+					}
+					next[ti]++
+					any = true
+				}
+			}
+			if !any {
+				break
+			}
 		}
 	}
 
@@ -173,12 +214,29 @@ func (s *Sim) runPlaced(ctx context.Context, spec *tenancy.Spec, launches []*ker
 	eng := newCycleEngine(sms, workers)
 	defer eng.close()
 
-	var pending launchQueue
-	lastProgress := int64(0)
-	doneAll := 0
-
 	var now int64
-	for now = 0; ; now++ {
+	for now = startAt; ; now++ {
+		if sink != nil && now > 0 && now%ckStride == 0 && now != resumedAt {
+			p, err := s.newPayload(modePlaced, kernels, spec, now, sms)
+			if err != nil {
+				return nil, err
+			}
+			p.Placed = &placedState{
+				Next:         append([]int(nil), next...),
+				Completed:    append([]int(nil), completed...),
+				Done:         append([]int64(nil), done...),
+				DoneAll:      doneAll,
+				Pending:      saveQueue(&pending),
+				LastProgress: lastProgress,
+			}
+			blob, err := encodePayload(p)
+			if err != nil {
+				return nil, err
+			}
+			if err := sink.Put(now, blob); err != nil {
+				return nil, simerr.Wrap(simerr.KindCheckpoint, now, err)
+			}
+		}
 		if now >= maxCycles {
 			return nil, s.hangError(simerr.KindMaxCycles, now, sms,
 				fmt.Sprintf("multi-tenant run (%s) exceeded %d cycles", spec.Policy, maxCycles))
@@ -310,9 +368,54 @@ func (s *Sim) runTimeSlice(ctx context.Context, spec *tenancy.Spec, launches []*
 		tenAgg[i].Workload = spec.Tenants[i].Workload
 	}
 
+	startTi := 0
+	resumedAt := int64(-1)
+	sink := s.CheckpointSink
+	ckStride := s.Cfg.CheckpointStride
+	if ckStride <= 0 || sink == nil {
+		ckStride, sink = 0, nil
+	}
+	kernels := make([]string, n)
+	for i, l := range launches {
+		kernels[i] = l.Kernel.Name
+	}
+
+	// rs, when non-nil, is a decoded checkpoint to resume from: the
+	// first outer-loop iteration restores tenant rs.Slice.Tenant's
+	// in-progress slice (possibly mid-quantum, possibly draining)
+	// instead of building and filling a fresh one.
+	var rs *payload
+	if s.RestoreFrom != nil {
+		p, err := s.decodePayload(s.RestoreFrom, modeTimeslice, kernels, spec)
+		if err != nil {
+			return nil, err
+		}
+		st := p.Slice
+		if len(st.Next) != n || len(st.Completed) != n || len(st.Done) != n || len(st.TenAgg) != n {
+			return nil, simerr.New(simerr.KindCheckpoint, p.Cycle,
+				"checkpoint dispatch ledgers cover %d/%d/%d/%d tenants, run has %d",
+				len(st.Next), len(st.Completed), len(st.Done), len(st.TenAgg), n)
+		}
+		if st.Tenant < 0 || st.Tenant >= n {
+			return nil, simerr.New(simerr.KindCheckpoint, p.Cycle,
+				"checkpoint slice tenant %d out of range (%d tenants)", st.Tenant, n)
+		}
+		copy(next, st.Next)
+		copy(completed, st.Completed)
+		copy(done, st.Done)
+		remaining = st.Remaining
+		*g = st.Agg
+		copy(tenAgg, st.TenAgg)
+		startTi = st.Tenant
+		rs = p
+	}
+
 	now := int64(0)
-	for ti := 0; remaining > 0; ti = (ti + 1) % n {
-		if completed[ti] >= total[ti] {
+	for ti := startTi; remaining > 0; ti = (ti + 1) % n {
+		// A resumed slice may already be draining (all CTAs completed,
+		// blocks still resident), so the skip applies only to fresh
+		// slices.
+		if rs == nil && completed[ti] >= total[ti] {
 			continue
 		}
 		l, occ := launches[ti], occs[ti]
@@ -330,23 +433,69 @@ func (s *Sim) runTimeSlice(ctx context.Context, spec *tenancy.Spec, launches []*
 		chk := invariant.New(stride, invariant.ClassAll, sms, s.ms)
 		eng := newCycleEngine(sms, workers)
 
-		for slot := 0; slot < occ.Max && next[ti] < total[ti]; slot++ {
-			for _, sm := range sms {
-				if next[ti] >= total[ti] {
-					break
-				}
-				if err := sm.LaunchBlock(slot, next[ti]); err != nil {
-					eng.close()
-					return nil, simerr.Wrap(simerr.KindInvariant, now, err)
-				}
-				next[ti]++
-			}
-		}
-
-		sliceEnd := now + spec.QuotaCycles
 		var pending launchQueue
-		lastProgress := now
+		var sliceEnd, lastProgress int64
+		if rs != nil {
+			if err := s.restoreMachine(rs, sms); err != nil {
+				eng.close()
+				return nil, err
+			}
+			st := rs.Slice
+			var err error
+			if pending, err = loadQueue(st.Pending, len(sms)); err != nil {
+				eng.close()
+				return nil, err
+			}
+			now = rs.Cycle
+			sliceEnd = st.SliceEnd
+			lastProgress = st.LastProgress
+			resumedAt = rs.Cycle
+			rs = nil
+		} else {
+			for slot := 0; slot < occ.Max && next[ti] < total[ti]; slot++ {
+				for _, sm := range sms {
+					if next[ti] >= total[ti] {
+						break
+					}
+					if err := sm.LaunchBlock(slot, next[ti]); err != nil {
+						eng.close()
+						return nil, simerr.Wrap(simerr.KindInvariant, now, err)
+					}
+					next[ti]++
+				}
+			}
+			sliceEnd = now + spec.QuotaCycles
+			lastProgress = now
+		}
 		for ; ; now++ {
+			if sink != nil && now > 0 && now%ckStride == 0 && now != resumedAt {
+				p, err := s.newPayload(modeTimeslice, kernels, spec, now, sms)
+				if err != nil {
+					eng.close()
+					return nil, err
+				}
+				p.Slice = &sliceState{
+					Tenant:       ti,
+					SliceEnd:     sliceEnd,
+					Next:         append([]int(nil), next...),
+					Completed:    append([]int(nil), completed...),
+					Done:         append([]int64(nil), done...),
+					Remaining:    remaining,
+					Pending:      saveQueue(&pending),
+					LastProgress: lastProgress,
+					Agg:          *g,
+					TenAgg:       append([]stats.Tenant(nil), tenAgg...),
+				}
+				blob, err := encodePayload(p)
+				if err != nil {
+					eng.close()
+					return nil, err
+				}
+				if err := sink.Put(now, blob); err != nil {
+					eng.close()
+					return nil, simerr.Wrap(simerr.KindCheckpoint, now, err)
+				}
+			}
 			if now >= maxCycles {
 				eng.close()
 				return nil, s.hangError(simerr.KindMaxCycles, now, sms,

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"gpushare/internal/checkpoint"
 	"gpushare/internal/config"
 	"gpushare/internal/stats"
 	"gpushare/internal/workloads"
@@ -120,6 +121,44 @@ func TestEngineDeterminism(t *testing.T) {
 					}
 				})
 			}
+
+			// Checkpoint/restore is an engine knob too: (a) taking
+			// snapshots must not perturb the run, and (b) resuming from
+			// any snapshot — under any worker count, fast-forward, or
+			// snapshot mode — must reproduce the straight-through bytes
+			// exactly.
+			t.Run("restore", func(t *testing.T) {
+				stride := ref.Cycles / 4
+				if stride < 1 {
+					stride = 1
+				}
+				ckCfg := refCfg
+				ckCfg.CheckpointStride = stride
+				sink := checkpoint.NewMemSink()
+				if j := encodeJSON(t, runWorkloadCK(t, c.workload, ckCfg, 1, sink, nil)); j != string(refJSON) {
+					t.Fatal("enabling checkpoints changed the statistics")
+				}
+				cycles := sink.List()
+				if len(cycles) == 0 {
+					t.Fatalf("no checkpoints taken in %d cycles at stride %d", ref.Cycles, stride)
+				}
+				for _, cy := range sampleCycles(cycles, 6) {
+					cfg := refCfg
+					if j := encodeJSON(t, runWorkloadCK(t, c.workload, cfg, 1, nil, sink.Get(cy))); j != string(refJSON) {
+						t.Errorf("restore at cycle %d diverges from straight-through", cy)
+					}
+				}
+				mid := cycles[len(cycles)/2]
+				for _, v := range variants {
+					cfg := c.cfg()
+					cfg.SMWorkers = v.workers
+					cfg.NoFastForward = v.noFF
+					cfg.NoSnapshot = v.noSnap
+					if j := encodeJSON(t, runWorkloadCK(t, c.workload, cfg, 1, nil, sink.Get(mid))); j != string(refJSON) {
+						t.Errorf("restore at cycle %d under %s diverges from straight-through", mid, v.name)
+					}
+				}
+			})
 		})
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"reflect"
 	"testing"
 
+	"gpushare/internal/checkpoint"
 	"gpushare/internal/config"
 	"gpushare/internal/fault"
 	"gpushare/internal/kernel"
@@ -131,6 +132,58 @@ func TestTenancyDeterminism(t *testing.T) {
 					}
 				})
 			}
+
+			// Checkpoint/restore under every tenancy policy. For
+			// timeslice, stride 1024 against the 3000-cycle quota
+			// guarantees snapshots strictly inside a quantum (and inside
+			// drain phases), the context-switch states that are hardest
+			// to resume. Every restored run must also keep its
+			// per-tenant counters exactly decomposing machine totals.
+			t.Run("restore", func(t *testing.T) {
+				stride := ref.Cycles / 4
+				if policy == tenancy.TimeSlice {
+					stride = 1024
+				}
+				if stride < 1 {
+					stride = 1
+				}
+				ckCfg := baseCfg()
+				ckCfg.SMWorkers = 1
+				ckCfg.CheckpointStride = stride
+				sink := checkpoint.NewMemSink()
+				if j := encodeJSON(t, runMultiCK(t, ckCfg, twoTenantSpec(policy), 1, sink, nil)); j != string(refJSON) {
+					t.Fatal("enabling checkpoints changed the statistics")
+				}
+				cycles := sink.List()
+				if len(cycles) == 0 {
+					t.Fatalf("no checkpoints taken in %d cycles at stride %d", ref.Cycles, stride)
+				}
+				for _, cy := range sampleCycles(cycles, 6) {
+					cfg := baseCfg()
+					cfg.SMWorkers = 1
+					g := runMultiCK(t, cfg, twoTenantSpec(policy), 1, nil, sink.Get(cy))
+					if j := encodeJSON(t, g); j != string(refJSON) {
+						t.Errorf("restore at cycle %d diverges from straight-through", cy)
+					}
+					var warpSum int64
+					for i := range g.Tenants {
+						warpSum += g.Tenants[i].WarpInstrs
+					}
+					if warpSum != g.TotalWarpInstrs() {
+						t.Errorf("restore at cycle %d: per-tenant warp instructions sum to %d, machine total is %d",
+							cy, warpSum, g.TotalWarpInstrs())
+					}
+				}
+				mid := cycles[len(cycles)/2]
+				for _, v := range variants {
+					cfg := baseCfg()
+					cfg.SMWorkers = v.workers
+					cfg.NoSnapshot = v.noSnap
+					if j := encodeJSON(t, runMultiCK(t, cfg, twoTenantSpec(policy), 1, nil, sink.Get(mid))); j != string(refJSON) {
+						t.Errorf("restore at cycle %d under %s diverges from straight-through", mid, v.name)
+					}
+				}
+			})
 		})
 	}
 }

@@ -222,6 +222,15 @@ type Session struct {
 	// unaudited runs cache under different keys (the stride is part of
 	// the canonical configuration).
 	InvariantStride int64
+	// CheckpointDir enables crash-tolerant simulations: each running job
+	// snapshots its machine state under this directory every
+	// CheckpointStride cycles, and a retried attempt (panic, timeout)
+	// resumes from the newest snapshot instead of cycle 0. Results are
+	// bit-identical with or without checkpoints ("" disables).
+	CheckpointDir string
+	// CheckpointStride is the snapshot cadence in cycles (with
+	// CheckpointDir; 0 leaves each job's own configuration in charge).
+	CheckpointStride int64
 	// SoftFail renders a failed simulation as a zero-filled table cell
 	// with its diagnosis collected into the table notes, instead of
 	// aborting the whole experiment. One diverging cell cannot kill a
@@ -261,10 +270,12 @@ func (s *Session) runner() *runner.Runner {
 	defer s.mu.Unlock()
 	if s.r == nil {
 		s.r = runner.New(runner.Options{
-			Workers:  s.Workers,
-			CacheDir: s.CacheDir,
-			Verify:   s.Verify,
-			Progress: s.Progress,
+			Workers:          s.Workers,
+			CacheDir:         s.CacheDir,
+			Verify:           s.Verify,
+			Progress:         s.Progress,
+			CheckpointDir:    s.CheckpointDir,
+			CheckpointStride: s.CheckpointStride,
 		})
 	}
 	return s.r

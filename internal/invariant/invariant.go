@@ -101,6 +101,16 @@ func (c *Checker) Check(now int64) error {
 	return nil
 }
 
+// Audit runs the given invariant families once over a machine state,
+// regardless of any stride. The checkpoint bisector uses it to probe
+// restored states for the first checkpoint at which an internal
+// contract is already broken.
+func Audit(now int64, classes Class, sms []*smcore.SM, ms *mem.System) error {
+	c := &Checker{stride: 1, classes: classes, sms: sms, ms: ms,
+		mshrScratch: make(map[memKey]bool)}
+	return c.Check(now)
+}
+
 func (c *Checker) auditSM(sm *smcore.SM, now int64) error {
 	if c.classes&ClassSharing != 0 {
 		if err := sm.AuditSharing(); err != nil {

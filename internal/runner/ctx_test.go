@@ -46,7 +46,7 @@ func waitGoroutines(t *testing.T, baseline int) {
 func TestTimeoutCancelsAttemptGoroutine(t *testing.T) {
 	before := runtime.NumGoroutine()
 	r := New(Options{Workers: 1, Timeout: 10 * time.Millisecond, Retries: -1})
-	r.simFn = func(ctx context.Context, j Job, verify bool) (*stats.GPU, error) {
+	r.simFn = func(ctx context.Context, j Job, so simOpts) (*stats.GPU, error) {
 		<-ctx.Done()
 		return nil, simerr.Wrap(simerr.KindCanceled, 1, context.Cause(ctx))
 	}
@@ -87,7 +87,7 @@ func TestRunAllCtxCancelMidSweep(t *testing.T) {
 	defer cancel()
 
 	var calls int32
-	r.simFn = func(c context.Context, j Job, verify bool) (*stats.GPU, error) {
+	r.simFn = func(c context.Context, j Job, so simOpts) (*stats.GPU, error) {
 		switch atomic.AddInt32(&calls, 1) {
 		case 1:
 			return &stats.GPU{Cycles: 42}, nil
@@ -138,7 +138,7 @@ func TestDoCtxWaiterCancelKeepsLeader(t *testing.T) {
 	r := New(Options{Workers: 2, Retries: -1})
 	gate := make(chan struct{})
 	started := make(chan struct{})
-	r.simFn = func(ctx context.Context, j Job, verify bool) (*stats.GPU, error) {
+	r.simFn = func(ctx context.Context, j Job, so simOpts) (*stats.GPU, error) {
 		close(started)
 		<-gate
 		return &stats.GPU{Cycles: 7}, nil

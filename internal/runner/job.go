@@ -106,29 +106,38 @@ func Fingerprint() string {
 	return fp
 }
 
-// simulate executes the job's simulation from scratch: it rebuilds the
-// workload instance at the job's scale, runs it under the job's
-// configuration with the caller's context (cancellation stops the cycle
-// loop within one stride), and optionally re-checks functional outputs.
-func simulate(ctx context.Context, j Job, verify bool) (*stats.GPU, error) {
+// simulate executes the job's simulation from scratch or from a
+// checkpoint: it rebuilds the workload instance at the job's scale,
+// runs it under the job's configuration with the caller's context
+// (cancellation stops the cycle loop within one stride), and optionally
+// re-checks functional outputs. When so.sink is set the run writes
+// machine snapshots every so.stride cycles; when so.restore is set the
+// run resumes from that snapshot instead of cycle 0.
+func simulate(ctx context.Context, j Job, so simOpts) (*stats.GPU, error) {
 	if j.Tenancy != nil {
-		return simulateMulti(ctx, j, verify)
+		return simulateMulti(ctx, j, so)
 	}
 	spec, err := workloads.ByName(j.Workload)
 	if err != nil {
 		return nil, err
 	}
-	sim, err := gpu.New(j.Config)
+	cfg := j.Config
+	if so.stride > 0 {
+		cfg.CheckpointStride = so.stride
+	}
+	sim, err := gpu.New(cfg)
 	if err != nil {
 		return nil, err
 	}
+	sim.CheckpointSink = so.sink
+	sim.RestoreFrom = so.restore
 	inst := spec.Build(j.Scale)
 	inst.Setup(sim.Mem)
 	g, err := sim.RunCtx(ctx, inst.Launch)
 	if err != nil {
 		return nil, err
 	}
-	if verify && inst.Check != nil {
+	if so.verify && inst.Check != nil {
 		if err := inst.Check(sim.Mem); err != nil {
 			return nil, fmt.Errorf("functional check failed: %w", err)
 		}
@@ -142,15 +151,21 @@ func simulate(ctx context.Context, j Job, verify bool) (*stats.GPU, error) {
 // the job's tenancy spec. With verify set, each tenant's functional
 // check runs against the final memory image — co-residency must not
 // corrupt any tenant's output.
-func simulateMulti(ctx context.Context, j Job, verify bool) (*stats.GPU, error) {
+func simulateMulti(ctx context.Context, j Job, so simOpts) (*stats.GPU, error) {
 	ten := j.Tenancy
 	if err := ten.Validate(); err != nil {
 		return nil, err
 	}
-	sim, err := gpu.New(j.Config)
+	cfg := j.Config
+	if so.stride > 0 {
+		cfg.CheckpointStride = so.stride
+	}
+	sim, err := gpu.New(cfg)
 	if err != nil {
 		return nil, err
 	}
+	sim.CheckpointSink = so.sink
+	sim.RestoreFrom = so.restore
 	launches := make([]*kernel.Launch, len(ten.Tenants))
 	checks := make([]func(*mem.Global) error, len(ten.Tenants))
 	for i, t := range ten.Tenants {
@@ -171,7 +186,7 @@ func simulateMulti(ctx context.Context, j Job, verify bool) (*stats.GPU, error) 
 	if err != nil {
 		return nil, err
 	}
-	if verify {
+	if so.verify {
 		for i, check := range checks {
 			if check == nil {
 				continue

@@ -15,7 +15,12 @@ type Counters struct {
 	Failed    int64
 	Canceled  int64 // jobs aborted by context cancellation (drain, deadline)
 	SimCycles int64 // simulated GPU cycles accumulated by fresh runs
-	Elapsed   time.Duration
+	// CkSaved and CkRestored track crash tolerance: durable machine
+	// snapshots written, and retry attempts that resumed from one
+	// instead of restarting at cycle 0.
+	CkSaved    int64
+	CkRestored int64
+	Elapsed    time.Duration
 }
 
 // Hits is the total cache hits across both tiers.
@@ -43,14 +48,16 @@ func (c Counters) String() string {
 // Counters returns the runner's cumulative counters.
 func (r *Runner) Counters() Counters {
 	return Counters{
-		Done:      atomic.LoadInt64(&r.done),
-		MemHits:   atomic.LoadInt64(&r.memHits),
-		DiskHits:  atomic.LoadInt64(&r.diskHits),
-		Simulated: atomic.LoadInt64(&r.simulated),
-		Failed:    atomic.LoadInt64(&r.failures),
-		Canceled:  atomic.LoadInt64(&r.canceled),
-		SimCycles: atomic.LoadInt64(&r.simCycles),
-		Elapsed:   time.Since(r.start),
+		Done:       atomic.LoadInt64(&r.done),
+		MemHits:    atomic.LoadInt64(&r.memHits),
+		DiskHits:   atomic.LoadInt64(&r.diskHits),
+		Simulated:  atomic.LoadInt64(&r.simulated),
+		Failed:     atomic.LoadInt64(&r.failures),
+		Canceled:   atomic.LoadInt64(&r.canceled),
+		SimCycles:  atomic.LoadInt64(&r.simCycles),
+		CkSaved:    atomic.LoadInt64(&r.ckSaved),
+		CkRestored: atomic.LoadInt64(&r.ckRestored),
+		Elapsed:    time.Since(r.start),
 	}
 }
 

@@ -4,14 +4,22 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"gpushare/internal/checkpoint"
+	"gpushare/internal/fault"
 	"gpushare/internal/simerr"
 	"gpushare/internal/stats"
 )
+
+// checkpointKeep is how many of a job's newest checkpoints the runner
+// retains on disk: enough that a torn or corrupt newest snapshot still
+// leaves valid fallbacks, without storing the whole trail.
+const checkpointKeep = 3
 
 // Options configures a Runner. The zero value is usable: GOMAXPROCS
 // workers, memory cache only, no timeout, one retry for panics and
@@ -49,6 +57,31 @@ type Options struct {
 	Progress func(string)
 	// ProgressInterval is the reporting period (0 = 2s).
 	ProgressInterval time.Duration
+	// CheckpointDir enables crash-tolerant execution ("" disables):
+	// each simulating job writes machine snapshots under
+	// CheckpointDir/<key>/ every CheckpointStride cycles, a retried
+	// attempt (panic or timeout) resumes from the newest valid snapshot
+	// instead of cycle 0, and a successful job clears its snapshots.
+	CheckpointDir string
+	// CheckpointStride is the snapshot cadence in simulated cycles. It
+	// overrides the per-job Config.CheckpointStride when positive; when
+	// both are 0, jobs run without checkpoints even if CheckpointDir is
+	// set.
+	CheckpointStride int64
+	// CheckpointFaults, when non-nil, arms crash-point fault injection
+	// on every checkpoint sink the runner creates (durability tests
+	// only): torn files and crashes between write and commit.
+	CheckpointFaults *fault.Plan
+}
+
+// simOpts carries per-attempt execution knobs into the simulation entry
+// point: functional verification, the checkpoint sink, the snapshot to
+// resume from (nil = cycle 0), and the checkpoint stride override.
+type simOpts struct {
+	verify  bool
+	sink    checkpoint.Sink
+	restore []byte
+	stride  int64
 }
 
 // Result is one job's outcome.
@@ -68,20 +101,22 @@ type Runner struct {
 	cache *store
 	// simFn is the simulation entry point; tests substitute failing or
 	// panicking implementations.
-	simFn func(context.Context, Job, bool) (*stats.GPU, error)
+	simFn func(context.Context, Job, simOpts) (*stats.GPU, error)
 
 	mu       sync.Mutex
 	inflight map[string]*call
 	failed   map[string]error // memory-only negative cache
 
 	// Cumulative counters (atomics).
-	done      int64
-	memHits   int64
-	diskHits  int64
-	simulated int64
-	failures  int64
-	canceled  int64
-	simCycles int64
+	done       int64
+	memHits    int64
+	diskHits   int64
+	simulated  int64
+	failures   int64
+	canceled   int64
+	simCycles  int64
+	ckSaved    int64
+	ckRestored int64
 
 	progressMu sync.Mutex
 	start      time.Time
@@ -320,6 +355,8 @@ func (r *Runner) execute(ctx context.Context, j Job, key string) Result {
 		return Result{Job: j, Key: key, Stats: g, Tier: tier}
 	}
 
+	sink, stride := r.checkpointSink(j, key)
+
 	var lastErr error
 	attempts := 0
 	for attempts <= r.opts.Retries {
@@ -330,8 +367,24 @@ func (r *Runner) execute(ctx context.Context, j Job, key string) Result {
 			break
 		}
 		attempts++
-		g, err, retryable := r.attempt(ctx, j)
+		so := simOpts{verify: r.opts.Verify, stride: stride}
+		if sink != nil {
+			so.sink = countingSink{s: sink, n: &r.ckSaved}
+			// Resume from the newest valid snapshot whenever one exists —
+			// on a retry after a crashed attempt, and on the very first
+			// attempt when a previous *process* died mid-job (success
+			// would have cleared the trail). A missing or fully corrupt
+			// trail falls back to cycle 0.
+			if _, blob, ok := sink.Latest(); ok {
+				so.restore = blob
+				atomic.AddInt64(&r.ckRestored, 1)
+			}
+		}
+		g, err, retryable := r.attempt(ctx, j, so)
 		if err == nil {
+			if sink != nil {
+				sink.Clear()
+			}
 			if cerr := r.cache.put(key, g); cerr != nil {
 				// A failed cache write degrades to cache-miss behaviour;
 				// the result itself is still good.
@@ -343,6 +396,21 @@ func (r *Runner) execute(ctx context.Context, j Job, key string) Result {
 			return Result{Job: j, Key: key, Stats: g, Tier: Simulated, Attempts: attempts}
 		}
 		lastErr = err
+		if so.restore != nil {
+			if se, ok := simerr.As(err); ok && se.Kind == simerr.KindCheckpoint {
+				// The snapshot we resumed from was unusable (e.g. stale
+				// after a config change, or corrupt in a way Latest could
+				// not detect). Drop the trail and retry cold from cycle 0
+				// rather than fail the job — a checkpoint may never make an
+				// outcome worse than not having one — and refund the
+				// attempt: it was rejected at decode time, nothing ran.
+				// This cannot loop: after Clear the next attempt resumes
+				// nothing, so its failures are judged on their own terms.
+				sink.Clear()
+				retryable = true
+				attempts--
+			}
+		}
 		if !retryable {
 			break
 		}
@@ -357,13 +425,49 @@ func (r *Runner) execute(ctx context.Context, j Job, key string) Result {
 		Err: fmt.Errorf("job %s (%d attempt(s)): %w", j, attempts, lastErr)}
 }
 
+// checkpointSink builds the per-job checkpoint sink (nil when
+// checkpointing is disabled) and resolves the effective stride: the
+// runner-wide override when set, else the job's own configuration. A
+// sink that cannot be created degrades to checkpoint-less execution —
+// crash tolerance is an optimization, never a new failure mode.
+func (r *Runner) checkpointSink(j Job, key string) (*checkpoint.DirSink, int64) {
+	stride := r.opts.CheckpointStride
+	if stride <= 0 {
+		stride = j.Config.CheckpointStride
+	}
+	if r.opts.CheckpointDir == "" || stride <= 0 {
+		return nil, stride
+	}
+	sink, err := checkpoint.NewDirSink(filepath.Join(r.opts.CheckpointDir, key), checkpointKeep)
+	if err != nil {
+		return nil, stride
+	}
+	sink.Faults = r.opts.CheckpointFaults
+	return sink, stride
+}
+
+// countingSink counts durable snapshot writes for the runner's
+// counters while delegating to the real sink.
+type countingSink struct {
+	s checkpoint.Sink
+	n *int64
+}
+
+func (c countingSink) Put(cycle int64, blob []byte) error {
+	if err := c.s.Put(cycle, blob); err != nil {
+		return err
+	}
+	atomic.AddInt64(c.n, 1)
+	return nil
+}
+
 // attempt runs one simulation attempt in its own goroutine, converting
 // panics into errors and enforcing the per-attempt timeout through a
 // derived context, so an abandoned attempt stops within one
 // cancellation stride instead of simulating on. Only panics and
 // timeouts are retryable; simulator errors and caller cancellations are
 // not.
-func (r *Runner) attempt(ctx context.Context, j Job) (g *stats.GPU, err error, retryable bool) {
+func (r *Runner) attempt(ctx context.Context, j Job, so simOpts) (g *stats.GPU, err error, retryable bool) {
 	var cancel context.CancelFunc
 	var actx context.Context
 	if r.opts.Timeout > 0 {
@@ -394,7 +498,7 @@ func (r *Runner) attempt(ctx context.Context, j Job) (g *stats.GPU, err error, r
 				ch <- outcome{err: fmt.Errorf("simulation panicked: %v", p), panicked: true}
 			}
 		}()
-		g, err := r.simFn(actx, j, r.opts.Verify)
+		g, err := r.simFn(actx, j, so)
 		ch <- outcome{g: g, err: err}
 	}()
 

@@ -10,7 +10,9 @@ import (
 	"testing"
 	"time"
 
+	"gpushare/internal/checkpoint"
 	"gpushare/internal/config"
+	"gpushare/internal/fault"
 	"gpushare/internal/stats"
 )
 
@@ -231,12 +233,12 @@ func TestPanicIsolation(t *testing.T) {
 	r := New(Options{Workers: 4, Retries: -1})
 	real := r.simFn
 	var calls int64
-	r.simFn = func(ctx context.Context, j Job, verify bool) (*stats.GPU, error) {
+	r.simFn = func(ctx context.Context, j Job, so simOpts) (*stats.GPU, error) {
 		if k, _ := j.Key(); k == badKey {
 			atomic.AddInt64(&calls, 1)
 			panic("diverging simulation")
 		}
-		return real(ctx, j, verify)
+		return real(ctx, j, so)
 	}
 
 	jobs := []Job{cheapJob(nil), bad, cheapJob(func(c *config.Config) { c.Sched = config.SchedGTO })}
@@ -260,11 +262,11 @@ func TestPanicRetry(t *testing.T) {
 	r := New(Options{Workers: 1}) // default: 1 retry
 	real := r.simFn
 	var calls int64
-	r.simFn = func(ctx context.Context, j Job, verify bool) (*stats.GPU, error) {
+	r.simFn = func(ctx context.Context, j Job, so simOpts) (*stats.GPU, error) {
 		if atomic.AddInt64(&calls, 1) == 1 {
 			panic("transient")
 		}
-		return real(ctx, j, verify)
+		return real(ctx, j, so)
 	}
 	res := r.Do(cheapJob(nil))
 	if res.Err != nil {
@@ -278,7 +280,7 @@ func TestPanicRetry(t *testing.T) {
 func TestPlainErrorIsNotRetried(t *testing.T) {
 	r := New(Options{Workers: 1})
 	var calls int64
-	r.simFn = func(context.Context, Job, bool) (*stats.GPU, error) {
+	r.simFn = func(context.Context, Job, simOpts) (*stats.GPU, error) {
 		atomic.AddInt64(&calls, 1)
 		return nil, os.ErrInvalid
 	}
@@ -293,7 +295,7 @@ func TestPlainErrorIsNotRetried(t *testing.T) {
 func TestTimeout(t *testing.T) {
 	r := New(Options{Workers: 1, Timeout: 10 * time.Millisecond, Retries: -1})
 	release := make(chan struct{})
-	r.simFn = func(context.Context, Job, bool) (*stats.GPU, error) {
+	r.simFn = func(context.Context, Job, simOpts) (*stats.GPU, error) {
 		<-release
 		return &stats.GPU{}, nil
 	}
@@ -311,10 +313,10 @@ func TestSingleflight(t *testing.T) {
 	real := r.simFn
 	var calls int64
 	gate := make(chan struct{})
-	r.simFn = func(ctx context.Context, j Job, verify bool) (*stats.GPU, error) {
+	r.simFn = func(ctx context.Context, j Job, so simOpts) (*stats.GPU, error) {
 		atomic.AddInt64(&calls, 1)
 		<-gate
-		return real(ctx, j, verify)
+		return real(ctx, j, so)
 	}
 	job := cheapJob(nil)
 	var wg sync.WaitGroup
@@ -367,7 +369,7 @@ func TestProgressReporting(t *testing.T) {
 		Progress:         func(l string) { mu.Lock(); lines = append(lines, l); mu.Unlock() },
 		ProgressInterval: time.Millisecond,
 	})
-	r.simFn = func(context.Context, Job, bool) (*stats.GPU, error) {
+	r.simFn = func(context.Context, Job, simOpts) (*stats.GPU, error) {
 		time.Sleep(5 * time.Millisecond)
 		return &stats.GPU{Cycles: 100}, nil
 	}
@@ -405,6 +407,180 @@ func TestCountersAndHitRate(t *testing.T) {
 	}
 	if c.SimCycles == 0 {
 		t.Fatal("no simulated cycles recorded")
+	}
+}
+
+// TestCheckpointCrashRecovery injects the two crash-point faults into a
+// checkpointing runner and asserts the contract end to end: the crashed
+// attempt is retried, the retry resumes from the newest valid snapshot
+// (not cycle 0), the recovered statistics are byte-identical to a clean
+// run, and the snapshot trail is cleared once the job succeeds.
+func TestCheckpointCrashRecovery(t *testing.T) {
+	job := cheapJob(nil)
+	clean := New(Options{Workers: 1})
+	ref, err := clean.RunJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := ref.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := ref.Cycles / 4
+	if stride < 1 {
+		stride = 1
+	}
+	key, err := job.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		kind fault.Kind
+	}{
+		// Crash right after the second snapshot commits: recovery must
+		// resume from that snapshot.
+		{"crash-after-checkpoint", fault.CrashAfterCheckpoint},
+		// Tear the second snapshot's file mid-crash: recovery must
+		// discard it and resume from the first.
+		{"torn-checkpoint", fault.TornCheckpoint},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			plan := &fault.Plan{Kind: tc.kind, Nth: 2}
+			r := New(Options{
+				Workers:          1,
+				CheckpointDir:    dir,
+				CheckpointStride: stride,
+				CheckpointFaults: plan,
+			})
+			res := r.Do(job)
+			if res.Err != nil {
+				t.Fatalf("crash not recovered: %v", res.Err)
+			}
+			if !plan.Injected {
+				t.Fatal("fault plan never fired")
+			}
+			if res.Attempts != 2 {
+				t.Fatalf("attempts = %d, want 2 (crash, then resume)", res.Attempts)
+			}
+			c := r.Counters()
+			if c.CkRestored != 1 {
+				t.Fatalf("CkRestored = %d, want 1: the retry must resume from a snapshot", c.CkRestored)
+			}
+			if c.CkSaved == 0 {
+				t.Fatal("no durable snapshots counted")
+			}
+			b, err := res.Stats.EncodeJSON()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b, refJSON) {
+				t.Fatal("recovered statistics differ from a clean run")
+			}
+			// Success clears the trail (and removes the per-job dir).
+			if ents, err := os.ReadDir(filepath.Join(dir, key)); err == nil && len(ents) > 0 {
+				t.Fatalf("%d checkpoint files survive a successful job", len(ents))
+			}
+		})
+	}
+}
+
+// TestCheckpointCrossProcessResume models kill -9: a first runner
+// crashes with no retries, leaving its snapshot trail on disk; a fresh
+// runner (a new process) given the same checkpoint directory resumes
+// the job from the trail on its first attempt and produces clean-run
+// statistics.
+func TestCheckpointCrossProcessResume(t *testing.T) {
+	job := cheapJob(nil)
+	clean := New(Options{Workers: 1})
+	ref, err := clean.RunJob(job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := ref.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stride := ref.Cycles / 4
+	if stride < 1 {
+		stride = 1
+	}
+	dir := t.TempDir()
+
+	r1 := New(Options{
+		Workers: 1, Retries: -1,
+		CheckpointDir:    dir,
+		CheckpointStride: stride,
+		CheckpointFaults: &fault.Plan{Kind: fault.CrashAfterCheckpoint, Nth: 2},
+	})
+	if res := r1.Do(job); res.Err == nil {
+		t.Fatal("crashed run with no retries reported success")
+	}
+
+	r2 := New(Options{Workers: 1, CheckpointDir: dir, CheckpointStride: stride})
+	res := r2.Do(job)
+	if res.Err != nil {
+		t.Fatalf("resumed run failed: %v", res.Err)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1", res.Attempts)
+	}
+	if c := r2.Counters(); c.CkRestored != 1 {
+		t.Fatalf("CkRestored = %d, want 1: the new process must resume the trail", c.CkRestored)
+	}
+	b, err := res.Stats.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b, refJSON) {
+		t.Fatal("cross-process resumed statistics differ from a clean run")
+	}
+}
+
+// TestCheckpointStaleFallsBackToColdStart: a snapshot that no longer
+// matches the run (here: a container-valid blob whose payload fails the
+// identity cross-check) must not fail the job — the runner clears the
+// trail and restarts the attempt from cycle 0.
+func TestCheckpointStaleFallsBackToColdStart(t *testing.T) {
+	job := cheapJob(nil)
+	key, err := job.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	sink, err := checkpoint.NewDirSink(filepath.Join(dir, key), checkpointKeep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Container-valid but not a snapshot of this run: Latest() serves
+	// it, the simulator's decoder rejects it with a checkpoint error.
+	if err := sink.Put(100, checkpoint.Encode([]byte("{}"))); err != nil {
+		t.Fatal(err)
+	}
+
+	r := New(Options{Workers: 1, CheckpointDir: dir, CheckpointStride: 1000})
+	real := r.simFn
+	var calls int64
+	r.simFn = func(ctx context.Context, j Job, so simOpts) (*stats.GPU, error) {
+		atomic.AddInt64(&calls, 1)
+		return real(ctx, j, so)
+	}
+	res := r.Do(job)
+	if res.Err != nil {
+		t.Fatalf("stale checkpoint failed the job: %v", res.Err)
+	}
+	// Two simFn calls (rejected resume, then cold start) but the
+	// rejected resume is refunded: only one attempt did real work.
+	if got := atomic.LoadInt64(&calls); got != 2 {
+		t.Fatalf("simFn called %d times, want 2 (rejected resume, cold start)", got)
+	}
+	if res.Attempts != 1 {
+		t.Fatalf("attempts = %d, want 1 (the rejected resume is refunded)", res.Attempts)
+	}
+	if c := r.Counters(); c.CkRestored != 1 {
+		t.Fatalf("CkRestored = %d, want 1", c.CkRestored)
 	}
 }
 

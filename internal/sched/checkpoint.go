@@ -1,0 +1,46 @@
+package sched
+
+import "fmt"
+
+// Checkpoint is a scheduler's genuine cursor state. The incremental
+// ready ranking (readyRank) is deliberately excluded: it is a cache of
+// per-warp views that the SM rebuilds by Sync-ing every slot after a
+// restore, which reproduces the identical sorted list.
+type Checkpoint struct {
+	Last   int `json:"last"`   // slot number of the last issued warp; -1 before any issue
+	Active int `json:"active"` // two-level only: index of the active fetch group
+}
+
+// Save captures a scheduler's cursor state.
+func Save(s Scheduler) Checkpoint {
+	switch s := s.(type) {
+	case *lrr:
+		return Checkpoint{Last: s.last}
+	case *gto:
+		return Checkpoint{Last: s.last}
+	case *twoLevel:
+		return Checkpoint{Last: s.last, Active: s.active}
+	case *owf:
+		return Checkpoint{Last: s.last}
+	}
+	return Checkpoint{Last: -1}
+}
+
+// Restore applies a cursor snapshot onto a freshly constructed
+// scheduler of the same policy.
+func Restore(s Scheduler, c Checkpoint) error {
+	switch s := s.(type) {
+	case *lrr:
+		s.last = c.Last
+	case *gto:
+		s.last = c.Last
+	case *twoLevel:
+		s.last = c.Last
+		s.active = c.Active
+	case *owf:
+		s.last = c.Last
+	default:
+		return fmt.Errorf("cannot restore scheduler of type %T", s)
+	}
+	return nil
+}

@@ -28,6 +28,7 @@ package server
 import (
 	"context"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
 	"sync"
@@ -35,6 +36,7 @@ import (
 	"time"
 
 	"gpushare/internal/config"
+	"gpushare/internal/fault"
 	"gpushare/internal/runner"
 	"gpushare/internal/simerr"
 	"gpushare/internal/workloads"
@@ -65,9 +67,19 @@ type Options struct {
 	// usually wants 1 here.
 	SMWorkers int
 	// Runner configures the underlying simulation farm (cache
-	// directory, per-attempt timeout, retries, verification). Its
-	// Workers field is overridden by Options.Workers.
+	// directory, per-attempt timeout, retries, verification, and —
+	// via its CheckpointDir/CheckpointStride — crash-tolerant
+	// mid-simulation checkpoints). Its Workers field is overridden by
+	// Options.Workers.
 	Runner runner.Options
+	// JournalPath enables the write-ahead job journal ("" disables):
+	// every admission is fsync'd to this JSON-lines file before the job
+	// is queued, and a daemon killed outright (kill -9) re-admits its
+	// unfinished jobs on the next start.
+	JournalPath string
+	// JournalFaults, when non-nil, arms crash-point injection on the
+	// journal's append path (durability tests only).
+	JournalFaults *fault.Plan
 }
 
 // job is one submission's server-side state. Transitions are guarded by
@@ -101,6 +113,10 @@ type Server struct {
 
 	wg    sync.WaitGroup
 	start time.Time
+
+	// jl is the write-ahead job journal (nil when disabled).
+	jl       *journal
+	replayed atomic.Int64
 
 	inFlightBytes atomic.Int64
 	accepted      atomic.Int64
@@ -141,11 +157,75 @@ func New(opts Options) *Server {
 		start:   time.Now(),
 	}
 	s.routes()
+
+	// Open and replay the job journal before serving: whatever a
+	// previous process accepted but never finished is owed again.
+	var replay []journalRecord
+	if opts.JournalPath != "" {
+		jl, pending, err := openJournal(opts.JournalPath, opts.JournalFaults)
+		if err != nil {
+			// A broken journal degrades to journal-less operation: the
+			// daemon must come up and serve even if its WAL is lost.
+			log.Printf("gserved: journal disabled: %v", err)
+		} else {
+			s.jl = jl
+			replay = pending
+		}
+	}
+
 	for w := 0; w < opts.Workers; w++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if len(replay) > 0 {
+		go s.readmit(replay)
+	}
 	return s
+}
+
+// readmit re-admits journal-replayed jobs into the queue. It runs in the
+// background after the worker pool is up: a replay larger than the queue
+// simply feeds in as workers drain it, and a drain that starts meanwhile
+// abandons the rest (they stay pending in the journal for the next
+// start).
+func (s *Server) readmit(pending []journalRecord) {
+	for _, rec := range pending {
+		rjob, key, err := s.buildJob(rec.Req)
+		if err != nil {
+			// The journaled submission no longer validates (e.g. a
+			// workload was removed): it can never run, retire it.
+			log.Printf("gserved: journal: dropping unreplayable job %s: %v", rec.Key, err)
+			s.jl.done(rec.Key)
+			continue
+		}
+		jb := &job{key: key, rjob: rjob, state: StateQueued, done: make(chan struct{})}
+		for {
+			s.mu.Lock()
+			if s.draining {
+				s.mu.Unlock()
+				return
+			}
+			if _, exists := s.jobs[key]; exists {
+				// Already resubmitted by a client since restart.
+				s.mu.Unlock()
+				break
+			}
+			enqueued := false
+			select {
+			case s.queue <- jb:
+				s.jobs[key] = jb
+				s.accepted.Add(1)
+				s.replayed.Add(1)
+				enqueued = true
+			default:
+			}
+			s.mu.Unlock()
+			if enqueued {
+				break
+			}
+			time.Sleep(10 * time.Millisecond) // queue full: wait for a worker
+		}
+	}
 }
 
 // Runner exposes the underlying farm (tests compare against direct
@@ -187,6 +267,12 @@ func (s *Server) runJob(jb *job) {
 	jb.res = res
 	jb.state = state
 	s.mu.Unlock()
+	if s.jl != nil && state != StateCanceled {
+		// Canceled jobs stay pending in the journal on purpose: their
+		// work is still owed, and the next start replays them (the
+		// runner's caches make an already-finished replay free).
+		s.jl.done(jb.key)
+	}
 	close(jb.done)
 }
 
@@ -275,16 +361,26 @@ func (s *Server) submit(req *SubmitRequest, rjob runner.Job, key string) submitO
 		}
 		jb.deadline = time.Now().Add(d)
 	}
-	select {
-	case s.queue <- jb:
-		s.jobs[key] = jb
-		s.accepted.Add(1)
-		return submitOutcome{jb: jb, httpStatus: http.StatusAccepted}
-	default:
+	if len(s.queue) >= cap(s.queue) {
 		s.rejQueue.Add(1)
 		return submitOutcome{httpStatus: http.StatusTooManyRequests,
 			rejected: "queue-full", retryAfter: s.retryAfterLocked()}
 	}
+	// The write-ahead rule: the admission is fsync'd to the journal
+	// before the job is visible to any worker, so a crash between here
+	// and completion always leaves a replayable record. Every producer
+	// holds mu, so the capacity check above guarantees the send cannot
+	// block. A journal write failure only degrades durability — the job
+	// is admitted regardless.
+	if s.jl != nil {
+		if err := s.jl.accept(key, req); err != nil {
+			log.Printf("gserved: journal: %v", err)
+		}
+	}
+	s.queue <- jb
+	s.jobs[key] = jb
+	s.accepted.Add(1)
+	return submitOutcome{jb: jb, httpStatus: http.StatusAccepted}
 }
 
 // retryAfterLocked estimates how long a shed client should back off:
@@ -405,6 +501,9 @@ func (s *Server) Drain(timeout time.Duration) error {
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
+		if s.jl != nil {
+			s.jl.close()
+		}
 		close(done)
 	}()
 	select {
@@ -437,8 +536,13 @@ func (s *Server) statusz() Statusz {
 	depth := len(s.queue)
 	s.mu.Unlock()
 
+	var jl *JournalStatus
+	if s.jl != nil {
+		jl = s.jl.snapshot(s.replayed.Load())
+	}
 	return Statusz{
 		State:            state,
+		Journal:          jl,
 		UptimeSec:        time.Since(s.start).Seconds(),
 		Workers:          s.opts.Workers,
 		QueueDepth:       depth,

@@ -82,14 +82,29 @@ type ErrorBody struct {
 	RetryAfterSec int    `json:"retry_after_sec,omitempty"`
 }
 
-// Statusz is the GET /statusz introspection snapshot.
+// JournalStatus is the write-ahead job journal's statusz view. Pending
+// is the journal lag: jobs durably accepted but not yet finished — what
+// a crash right now would replay on the next start.
+type JournalStatus struct {
+	Path      string `json:"path"`
+	Appended  int64  `json:"appended"`
+	Pending   int    `json:"pending"`
+	Replayed  int64  `json:"replayed"`
+	TornLines int64  `json:"torn_lines"`
+	Errors    int64  `json:"errors"`
+}
+
+// Statusz is the GET /statusz introspection snapshot. Runner carries
+// the checkpoint counters (CkSaved/CkRestored) alongside the cache and
+// simulation totals; Journal is present only when the WAL is enabled.
 type Statusz struct {
-	State      string  `json:"state"` // serving | draining
-	UptimeSec  float64 `json:"uptime_sec"`
-	Workers    int     `json:"workers"`
-	QueueDepth int     `json:"queue_depth"`
-	QueueCap   int     `json:"queue_cap"`
-	InFlight   int     `json:"in_flight"` // distinct keys executing in the runner
+	State      string         `json:"state"` // serving | draining
+	Journal    *JournalStatus `json:"journal,omitempty"`
+	UptimeSec  float64        `json:"uptime_sec"`
+	Workers    int            `json:"workers"`
+	QueueDepth int            `json:"queue_depth"`
+	QueueCap   int            `json:"queue_cap"`
+	InFlight   int            `json:"in_flight"` // distinct keys executing in the runner
 
 	InFlightBytes    int64 `json:"in_flight_bytes"`
 	MaxInFlightBytes int64 `json:"max_in_flight_bytes"`

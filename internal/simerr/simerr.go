@@ -32,6 +32,7 @@ const (
 	KindWatchdog           // no instruction issued for the progress window
 	KindMaxCycles          // the MaxCycles safety valve fired
 	KindCanceled           // the run's context was canceled or its deadline expired
+	KindCheckpoint         // a checkpoint could not be written, decoded, or applied
 )
 
 func (k Kind) String() string {
@@ -52,6 +53,8 @@ func (k Kind) String() string {
 		return "max-cycles"
 	case KindCanceled:
 		return "canceled"
+	case KindCheckpoint:
+		return "checkpoint"
 	}
 	return "unknown"
 }

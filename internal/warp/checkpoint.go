@@ -1,0 +1,69 @@
+package warp
+
+import (
+	"fmt"
+
+	"gpushare/internal/kernel"
+)
+
+// SIMTEntryCheckpoint is one serialized reconvergence-stack entry.
+type SIMTEntryCheckpoint struct {
+	PC   int    `json:"pc"`
+	RPC  int    `json:"rpc"`
+	Mask uint32 `json:"mask"`
+}
+
+// StateCheckpoint is a warp's complete serialized execution state. The
+// hardware slot (State.ID) is assigned by the SM at construction and is
+// not part of the snapshot; the register file length implicitly encodes
+// the kernel's registers-per-thread and is validated on restore.
+type StateCheckpoint struct {
+	DynID     int64                 `json:"dyn_id"`
+	BlockSlot int                   `json:"block_slot"`
+	WarpInCta int                   `json:"warp_in_cta"`
+	Lanes     uint32                `json:"lanes"`
+	Stack     []SIMTEntryCheckpoint `json:"stack"`
+	Regs      []uint32              `json:"regs"`
+	Preds     []uint32              `json:"preds"`
+}
+
+// Checkpoint captures the warp's full execution state: identity,
+// reconvergence stack, register file, and predicate registers.
+func (w *State) Checkpoint() StateCheckpoint {
+	c := StateCheckpoint{
+		DynID:     w.DynID,
+		BlockSlot: w.BlockSlot,
+		WarpInCta: w.WarpInCta,
+		Lanes:     w.Lanes,
+		Stack:     make([]SIMTEntryCheckpoint, len(w.simt.stack)),
+		Regs:      append([]uint32(nil), w.regs...),
+		Preds:     append([]uint32(nil), w.preds[:]...),
+	}
+	for i, e := range w.simt.stack {
+		c.Stack[i] = SIMTEntryCheckpoint{PC: e.pc, RPC: e.rpc, Mask: e.mask}
+	}
+	return c
+}
+
+// RestoreState applies a snapshot onto this warp, which must have been
+// constructed for the same kernel (same registers-per-thread). The
+// hardware slot (w.ID) is untouched.
+func (w *State) RestoreState(c StateCheckpoint) error {
+	if len(c.Regs) != len(w.regs) {
+		return fmt.Errorf("warp %d: snapshot register file has %d words, warp has %d", w.ID, len(c.Regs), len(w.regs))
+	}
+	if len(c.Preds) != kernel.MaxPredRegs {
+		return fmt.Errorf("warp %d: snapshot has %d predicate registers, want %d", w.ID, len(c.Preds), kernel.MaxPredRegs)
+	}
+	w.DynID = c.DynID
+	w.BlockSlot = c.BlockSlot
+	w.WarpInCta = c.WarpInCta
+	w.Lanes = c.Lanes
+	w.simt.stack = w.simt.stack[:0]
+	for _, e := range c.Stack {
+		w.simt.stack = append(w.simt.stack, simtEntry{pc: e.PC, rpc: e.RPC, mask: e.Mask})
+	}
+	copy(w.regs, c.Regs)
+	copy(w.preds[:], c.Preds)
+	return nil
+}

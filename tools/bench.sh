@@ -35,9 +35,9 @@ fi
 out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 
-echo "== microbenchmarks (smcore SM tick, scheduler ranking, mem system tick)"
-go test -run '^$' -bench 'BenchmarkSMTick$|BenchmarkSMTickManyWarps$|BenchmarkSchedOrder$|BenchmarkMemSystemTick$' \
-    -benchmem -benchtime "$microtime" ./internal/smcore/ ./internal/sched/ ./internal/mem/ | tee "$out"
+echo "== microbenchmarks (smcore SM tick, scheduler ranking, mem system tick, checkpoint roundtrip)"
+go test -run '^$' -bench 'BenchmarkSMTick$|BenchmarkSMTickManyWarps$|BenchmarkSchedOrder$|BenchmarkMemSystemTick$|BenchmarkCheckpointRoundtrip$' \
+    -benchmem -benchtime "$microtime" ./internal/smcore/ ./internal/sched/ ./internal/mem/ ./internal/checkpoint/ | tee "$out"
 
 echo "== end-to-end engine (full hotspot simulation per op; two-tenant co-residency per op)"
 go test -run '^$' -bench 'BenchmarkRunParallelSMs|BenchmarkCoResident' \

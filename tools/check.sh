@@ -2,9 +2,11 @@
 # Pre-PR gate: vet + formatting + build + race-checked tests for the
 # concurrency-bearing packages (the runner's worker pool / singleflight,
 # the session layer, and the gserved daemon + client — including the
-# admission-saturation test), a fuzz smoke pass over the assembler and
-# ISA evaluator, an invariant-audited tier-1 run, and a gserved smoke
-# test (start on a random port, submit a job, drain via SIGTERM).
+# admission-saturation test), a fuzz smoke pass over the assembler,
+# ISA evaluator, and checkpoint decoder, an invariant-audited tier-1
+# run, a gserved smoke test (start on a random port, submit a job,
+# drain via SIGTERM), and a crash-recovery smoke (kill -9 mid-job,
+# journal replay and checkpoint resume after restart).
 # Run from the repository root:
 #
 #     ./tools/check.sh          # race tests in -short mode (~seconds)
@@ -42,9 +44,10 @@ go test -race $short -run 'TestEngineDeterminism|TestLaunchQueue' ./internal/gpu
 echo "== benchmark smoke + allocs/op gate (tools/bench.sh -quick)"
 ./tools/bench.sh -quick
 
-echo "== fuzz smoke (asm parser, ISA evaluator)"
+echo "== fuzz smoke (asm parser, ISA evaluator, checkpoint decoder)"
 go test -fuzz=FuzzAssemble -fuzztime=10s ./internal/asm/
 go test -fuzz=FuzzEval -fuzztime=10s ./internal/isa/
+go test -fuzz=FuzzCheckpointDecode -fuzztime=10s ./internal/checkpoint/
 
 echo "== invariant-audited tier-1 (GPUSHARE_INVARIANT_STRIDE=256)"
 GPUSHARE_INVARIANT_STRIDE=256 go test $short ./internal/gpu/ ./internal/workloads/ ./internal/harness/
@@ -135,5 +138,128 @@ grep -q '^gserved: drained' "$smoketmp/out.log" || {
     cat "$smoketmp/out.log" >&2
     exit 1
 }
+
+echo "== gserved crash-recovery smoke (kill -9 mid-job, journal replay)"
+# Start with a job journal and mid-simulation checkpoints, submit a
+# multi-second job, kill -9 the daemon mid-run, and verify that a fresh
+# daemon replays the journal and finishes the job.
+start_crash_daemon() {
+    "$smoketmp/gserved" -addr 127.0.0.1:0 -cachedir "$smoketmp/cache2" \
+        -journal "$smoketmp/journal.jsonl" \
+        -checkpoint-dir "$smoketmp/ckpt" -checkpoint-stride 20000 \
+        >"$1" 2>&1 &
+    smokepid=$!
+    addr=""
+    i=0
+    while [ $i -lt 50 ]; do
+        addr=$(sed -n 's/^gserved: listening on //p' "$1")
+        [ -n "$addr" ] && break
+        kill -0 "$smokepid" 2>/dev/null || break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    if [ -z "$addr" ]; then
+        echo "gserved did not start:" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+}
+
+start_crash_daemon "$smoketmp/crash1.log"
+code=$(curl -s -o "$smoketmp/crashjob.json" -w '%{http_code}' \
+    -X POST "http://$addr/v1/jobs" \
+    -d '{"workload":"hotspot","scale":2}')
+if [ "$code" != 202 ]; then
+    echo "gserved crash-smoke submit: HTTP $code" >&2
+    cat "$smoketmp/crashjob.json" >&2
+    exit 1
+fi
+key=$(sed -n 's/.*"key":"\([^"]*\)".*/\1/p' "$smoketmp/crashjob.json")
+if [ -z "$key" ]; then
+    echo "gserved crash-smoke submit returned no job key:" >&2
+    cat "$smoketmp/crashjob.json" >&2
+    exit 1
+fi
+
+# Kill the daemon while the simulation is in flight (the job takes a
+# couple of seconds; the kill lands well inside it).
+sleep 0.7
+kill -9 "$smokepid"
+wait "$smokepid" 2>/dev/null || true
+smokepid=""
+
+# The write-ahead rule: the accept record must be durable, and no done
+# record may exist for a job that never finished.
+grep -q "\"op\":\"accept\",\"key\":\"$key\"" "$smoketmp/journal.jsonl" || {
+    echo "journal is missing the accept record for the killed job" >&2
+    cat "$smoketmp/journal.jsonl" >&2
+    exit 1
+}
+if grep -q "\"op\":\"done\",\"key\":\"$key\"" "$smoketmp/journal.jsonl"; then
+    echo "journal marks the killed job done before it finished" >&2
+    cat "$smoketmp/journal.jsonl" >&2
+    exit 1
+fi
+
+# Restart: the journal replays the unfinished job, and polling its key
+# (computed by the dead process) must reach "done" (60s budget).
+start_crash_daemon "$smoketmp/crash2.log"
+i=0
+done=""
+while [ $i -lt 600 ]; do
+    curl -s -o "$smoketmp/crashpoll.json" "http://$addr/v1/jobs/$key" || true
+    if grep -q '"state":"done"' "$smoketmp/crashpoll.json"; then
+        done=1
+        break
+    fi
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$done" ]; then
+    echo "replayed job did not finish after restart:" >&2
+    cat "$smoketmp/crashpoll.json" >&2
+    cat "$smoketmp/crash2.log" >&2
+    exit 1
+fi
+grep -q '"Cycles"' "$smoketmp/crashpoll.json" || {
+    echo "replayed job carries no stats:" >&2
+    cat "$smoketmp/crashpoll.json" >&2
+    exit 1
+}
+# The done record is fsync'd just after the job state flips, so give
+# statusz a moment to show the journal fully retired.
+i=0
+while [ $i -lt 20 ]; do
+    curl -s -o "$smoketmp/crashstatusz.json" "http://$addr/statusz"
+    grep -q '"pending":0' "$smoketmp/crashstatusz.json" && break
+    sleep 0.1
+    i=$((i + 1))
+done
+grep -q '"replayed":1' "$smoketmp/crashstatusz.json" || {
+    echo "statusz does not report the journal replay:" >&2
+    cat "$smoketmp/crashstatusz.json" >&2
+    exit 1
+}
+grep -q '"pending":0' "$smoketmp/crashstatusz.json" || {
+    echo "journal still has pending records after the job finished:" >&2
+    cat "$smoketmp/crashstatusz.json" >&2
+    exit 1
+}
+
+kill -TERM "$smokepid"
+i=0
+while [ $i -lt 100 ]; do
+    kill -0 "$smokepid" 2>/dev/null || break
+    sleep 0.1
+    i=$((i + 1))
+done
+rc=0
+wait "$smokepid" || rc=$?
+smokepid=""
+if [ "$rc" != 0 ]; then
+    echo "gserved crash-smoke drain exited $rc:" >&2
+    cat "$smoketmp/crash2.log" >&2
+    exit 1
+fi
 
 echo "ok"
