@@ -149,6 +149,45 @@ func (c *Client) Wait(ctx context.Context, key string, poll time.Duration) (*ser
 	}
 }
 
+// Cancel aborts a queued or running job by key. The returned status is
+// the job's state at the moment of the call: a running job stops within
+// one cancellation stride, so poll until it reads canceled when that
+// matters. Cancellation keeps the job's checkpoint trail on the server
+// — this is the preemption primitive, not a deletion.
+func (c *Client) Cancel(ctx context.Context, key string) (*server.JobStatus, error) {
+	var st server.JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs/"+key+"/cancel", nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Ready probes GET /readyz exactly once — no retries, probes must be
+// cheap and honest — and returns the structured readiness state. Both
+// 200 and 503 answers parse into a ReadyzStatus (the daemon is alive
+// either way); only transport-level failures and unparseable bodies
+// return an error, which is what a failure detector should treat as a
+// missed heartbeat.
+func (c *Client) Ready(ctx context.Context) (*server.ReadyzStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/readyz", nil)
+	if err != nil {
+		return nil, fmt.Errorf("client: build request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, &transportError{err}
+	}
+	defer resp.Body.Close()
+	var st server.ReadyzStatus
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("client: readyz body does not parse (HTTP %d): %w", resp.StatusCode, err)
+	}
+	if st.State == "" {
+		return nil, fmt.Errorf("client: readyz body carries no state (HTTP %d)", resp.StatusCode)
+	}
+	return &st, nil
+}
+
 // Sweep batch-submits jobs; individually shed elements are marked
 // Rejected in the response rather than failing the batch.
 func (c *Client) Sweep(ctx context.Context, reqs []server.SubmitRequest) (*server.SweepResponse, error) {
@@ -177,8 +216,55 @@ func (c *Client) Status(ctx context.Context) (*server.Statusz, error) {
 	return &st, nil
 }
 
+// RetryError reports that the client gave up on a retryable request:
+// either the retry budget ran out, or the caller's context deadline had
+// no room for another backoff sleep (the retry schedule is capped by
+// the deadline — the client never sleeps into a deadline it cannot
+// recover from). Err is the last real failure, so a caller with a short
+// deadline still learns *why* the server was unreachable instead of a
+// bare context error.
+type RetryError struct {
+	// Attempts is how many requests were actually sent.
+	Attempts int
+	// Transport is true when the last failure never produced an HTTP
+	// response (connection refused/reset, DNS); false when the server
+	// answered with a retryable status (429/502/503/504).
+	Transport bool
+	// DeadlineCapped is true when retrying stopped because the caller's
+	// context deadline could not fit another backoff, rather than
+	// because MaxRetries ran out.
+	DeadlineCapped bool
+	// Err is the failure from the final attempt.
+	Err error
+}
+
+func (e *RetryError) Error() string {
+	reason := "retries exhausted"
+	if e.DeadlineCapped {
+		reason = "deadline too close for another retry"
+	}
+	flavor := "server"
+	if e.Transport {
+		flavor = "transport"
+	}
+	return fmt.Sprintf("client: %d attempt(s): %s (%s failure): %v", e.Attempts, reason, flavor, e.Err)
+}
+
+func (e *RetryError) Unwrap() error { return e.Err }
+
+// Is lets errors.Is(err, context.DeadlineExceeded) hold for
+// deadline-capped exhaustion: the caller's deadline is what stopped the
+// retry schedule, even though the wrapped cause is the server's last
+// answer.
+func (e *RetryError) Is(target error) bool {
+	return e.DeadlineCapped && target == context.DeadlineExceeded
+}
+
 // do sends one request with the retry loop. The body is marshaled once
-// and re-sent verbatim on every attempt.
+// and re-sent verbatim on every attempt. Total retry time is capped by
+// the caller's context deadline: a backoff that would outlive the
+// deadline is not slept, the loop fails fast with a *RetryError
+// carrying the last real failure instead.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
 	var payload []byte
 	if body != nil {
@@ -192,25 +278,37 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	if retries < 0 {
 		retries = 0
 	}
-	var lastErr error
 	for attempt := 0; ; attempt++ {
 		err := c.once(ctx, method, path, payload, out)
 		if err == nil {
 			return nil
 		}
-		lastErr = err
+		if ctx.Err() != nil {
+			// The caller's context ended during the attempt itself;
+			// surface the cause, not a retry report.
+			return fmt.Errorf("client: %w", context.Cause(ctx))
+		}
+		transport := true
 		retryAfter := time.Duration(0)
 		if apiErr, ok := err.(*APIError); ok {
 			if !apiErr.Retryable() {
 				return err
 			}
+			transport = false
 			retryAfter = apiErr.RetryAfter()
 		}
 		if attempt >= retries {
-			return fmt.Errorf("client: %d attempt(s): %w", attempt+1, lastErr)
+			return &RetryError{Attempts: attempt + 1, Transport: transport, Err: err}
 		}
-		if err := c.sleep(ctx, attempt, retryAfter); err != nil {
-			return err
+		d := c.backoff(attempt, retryAfter)
+		if deadline, ok := ctx.Deadline(); ok && time.Until(deadline) <= d {
+			return &RetryError{Attempts: attempt + 1, Transport: transport,
+				DeadlineCapped: true, Err: err}
+		}
+		select {
+		case <-time.After(d):
+		case <-ctx.Done():
+			return fmt.Errorf("client: %w", context.Cause(ctx))
 		}
 	}
 }
@@ -258,11 +356,11 @@ type transportError struct{ err error }
 func (e *transportError) Error() string { return "client: " + e.err.Error() }
 func (e *transportError) Unwrap() error { return e.err }
 
-// sleep blocks for the backoff before retry attempt+1: the server's
+// backoff computes the delay before retry attempt+1: the server's
 // Retry-After when given (capped at 2 minutes), otherwise exponential
 // backoff halved and jittered so a shed fleet does not retry in
 // lockstep.
-func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duration) error {
+func (c *Client) backoff(attempt int, retryAfter time.Duration) time.Duration {
 	d := retryAfter
 	if d > 2*time.Minute {
 		d = 2 * time.Minute
@@ -282,12 +380,7 @@ func (c *Client) sleep(ctx context.Context, attempt int, retryAfter time.Duratio
 		}
 		d = d/2 + c.jitter(d/2)
 	}
-	select {
-	case <-time.After(d):
-		return nil
-	case <-ctx.Done():
-		return context.Cause(ctx)
-	}
+	return d
 }
 
 // jitter returns a uniform duration in [0, max).

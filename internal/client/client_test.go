@@ -141,6 +141,78 @@ func TestNetworkErrorRetried(t *testing.T) {
 	}
 }
 
+// TestDeadlineCapsRetrySchedule: a backoff that would outlive the
+// caller's deadline is never slept — the client fails fast with a typed
+// RetryError that still carries the server's last real answer, instead
+// of dozing until the deadline and reporting a bare context error.
+func TestDeadlineCapsRetrySchedule(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "30")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		_ = json.NewEncoder(w).Encode(server.ErrorBody{Error: "overloaded", Kind: "queue-full"})
+	}))
+	defer ts.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err := fastClient(ts.URL).Get(ctx, "k")
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if elapsed > 150*time.Millisecond {
+		t.Fatalf("client took %s; a 30s backoff must not be slept under a 200ms deadline", elapsed)
+	}
+	var re *RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %T %v, want *RetryError", err, err)
+	}
+	if !re.DeadlineCapped {
+		t.Fatalf("RetryError = %+v, want DeadlineCapped", re)
+	}
+	if re.Transport {
+		t.Fatalf("RetryError reports a transport failure for a served 503: %+v", re)
+	}
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("err = %v, want it to wrap the last 503", err)
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want errors.Is(context.DeadlineExceeded) for deadline-capped exhaustion", err)
+	}
+}
+
+// TestRetryErrorDistinguishesTransport: exhaustion against a dead
+// socket reports Transport=true; exhaustion against a live server
+// answering 5xx reports Transport=false (previous test). The fleet
+// failure detector keys off exactly this distinction.
+func TestRetryErrorDistinguishesTransport(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+
+	c := fastClient(url)
+	c.MaxRetries = 1
+	_, err := c.Get(context.Background(), "k")
+	var re *RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("err = %T %v, want *RetryError", err, err)
+	}
+	if !re.Transport {
+		t.Fatalf("RetryError = %+v, want Transport=true for a dead socket", re)
+	}
+	if re.DeadlineCapped {
+		t.Fatalf("RetryError = %+v; no deadline was set", re)
+	}
+	if re.Attempts != 2 {
+		t.Fatalf("attempts = %d, want 2", re.Attempts)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatal("plain exhaustion must not read as a deadline error")
+	}
+}
+
 func TestContextCancelStopsRetries(t *testing.T) {
 	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Retry-After", "30")

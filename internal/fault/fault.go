@@ -11,7 +11,10 @@
 // mem can consult a plan without import cycles.
 package fault
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Kind selects what to corrupt.
 type Kind uint8
@@ -27,6 +30,9 @@ const (
 	CrashAfterCheckpoint      // crash (panic) right after a checkpoint is durably written, before any journal commit
 	TornCheckpoint            // truncate a checkpoint file after its atomic rename, then crash
 	TornJournal               // write a truncated journal record, emulating a crash mid-append
+	WorkerCrashMidJob         // a gserved worker dies abruptly (kill -9) while a dispatched job is running
+	CrashAfterDispatch        // the gsched coordinator dies between dispatching a job to a worker and recording the ack
+	HeartbeatBlackhole        // a network partition: the worker stays alive but every coordinator probe to it is dropped
 )
 
 func (k Kind) String() string {
@@ -47,12 +53,23 @@ func (k Kind) String() string {
 		return "torn-checkpoint"
 	case TornJournal:
 		return "torn-journal"
+	case WorkerCrashMidJob:
+		return "worker-crash-mid-job"
+	case CrashAfterDispatch:
+		return "crash-after-dispatch"
+	case HeartbeatBlackhole:
+		return "heartbeat-blackhole"
 	}
 	return "none"
 }
 
 // Plan arms one fault. The zero value (Kind None) never fires. Nth is
 // the 1-based opportunity index to corrupt; 0 behaves as 1.
+//
+// Trip is safe for concurrent use — fleet crash points fire from
+// dispatch and probe goroutines, not just the single-threaded cycle
+// loop. The injection-record fields may be read directly once the run
+// has settled; a concurrent observer should use Fired instead.
 type Plan struct {
 	Kind Kind
 	Nth  int
@@ -64,6 +81,7 @@ type Plan struct {
 	Warp     int
 	Detail   string
 
+	mu   sync.Mutex
 	seen int
 }
 
@@ -86,7 +104,12 @@ func NewPlan(kind Kind, seed uint64, spread int) *Plan {
 // the opportunity the caller is offering; non-matching kinds never
 // fire. A nil plan never fires.
 func (p *Plan) Trip(kind Kind, cycle int64, sm, warp int, detail string) bool {
-	if p == nil || p.Kind != kind || p.Injected {
+	if p == nil || p.Kind != kind {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.Injected {
 		return false
 	}
 	p.seen++
@@ -100,6 +123,18 @@ func (p *Plan) Trip(kind Kind, cycle int64, sm, warp int, detail string) bool {
 	p.Injected = true
 	p.Cycle, p.SM, p.Warp, p.Detail = cycle, sm, warp, detail
 	return true
+}
+
+// Fired reports whether the fault has been injected. Unlike reading
+// Injected directly, it is safe while Trip may still be firing on
+// other goroutines.
+func (p *Plan) Fired() bool {
+	if p == nil {
+		return false
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.Injected
 }
 
 // String describes the plan and, once fired, the injection record.

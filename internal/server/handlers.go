@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"runtime"
 	"runtime/debug"
 	"strconv"
 
@@ -18,6 +19,7 @@ func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	s.mux.HandleFunc("GET /v1/jobs/{key}", s.handleGetJob)
+	s.mux.HandleFunc("POST /v1/jobs/{key}/cancel", s.handleCancel)
 	s.mux.HandleFunc("GET /v1/sweeps", s.handleSweepList)
 	s.mux.HandleFunc("POST /v1/sweeps", s.handleSweepSubmit)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -152,6 +154,23 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.status(jb))
 }
 
+// handleCancel is POST /v1/jobs/{key}/cancel: abort a queued or running
+// job. The response reports the job's state at the moment of the call —
+// a running job stops within one cancellation stride, so callers poll
+// until it reads canceled. Cancellation keeps the job's journal accept
+// and checkpoint trail: it means "stop computing here", and the fleet
+// coordinator uses it to preempt, requeue, and later resume jobs.
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	jb, ok := s.cancelJob(key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, ErrorBody{
+			Error: fmt.Sprintf("unknown job key %q", key), Kind: "not-found"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.status(jb))
+}
+
 // handleSweepList is GET /v1/sweeps: the whole job inventory, without
 // per-job statistics (poll individual keys for those).
 func (s *Server) handleSweepList(w http.ResponseWriter, _ *http.Request) {
@@ -219,23 +238,51 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, "ok")
 }
 
-// handleReadyz is readiness: 200 while admitting, 503 while draining or
-// with a full queue (load balancers should steer elsewhere).
+// handleReadyz is readiness: 200 while admitting, 503 otherwise —
+// always with a structured ReadyzStatus body whose State tells the 503
+// flavors apart. The distinction matters to anything routing jobs: a
+// "draining" worker is alive and finishing owed work (steer new jobs
+// elsewhere, renew its lease), "queue-full" is transient backpressure,
+// and "dead" means the work it held must be rescheduled.
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
-	draining := s.draining
-	full := len(s.queue) >= s.opts.QueueDepth
+	st := ReadyzStatus{Ready: true, State: ReadyOK,
+		QueueDepth: len(s.queue), QueueCap: s.opts.QueueDepth}
+	switch {
+	case s.killed:
+		st.Ready, st.State = false, ReadyDead
+	case s.draining:
+		st.Ready, st.State = false, ReadyDraining
+	case len(s.queue) >= s.opts.QueueDepth:
+		st.Ready, st.State = false, ReadyQueueFull
+	}
 	retry := s.retryAfterLocked()
 	s.mu.Unlock()
-	switch {
-	case draining:
-		shed(w, http.StatusServiceUnavailable, "draining", "draining", retry)
-	case full:
-		shed(w, http.StatusServiceUnavailable, "admission queue full", "queue-full", retry)
-	default:
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ready")
+	code := http.StatusOK
+	if !st.Ready {
+		st.RetryAfterSec = retry
+		w.Header().Set("Retry-After", strconv.Itoa(retry))
+		code = http.StatusServiceUnavailable
 	}
+	writeJSON(w, code, st)
+}
+
+// Build identifies the running binary: simulator fingerprint, Go
+// toolchain, and VCS revision when present. Shared by gserved's and
+// gsched's /statusz.
+func Build() BuildInfo {
+	b := BuildInfo{Fingerprint: runner.Fingerprint(), GoVersion: runtime.Version()}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				b.Revision = s.Value
+			case "vcs.modified":
+				b.Dirty = s.Value == "true"
+			}
+		}
+	}
+	return b
 }
 
 // handleStatusz is the introspection snapshot.

@@ -3,234 +3,87 @@
 // enters the queue, and a second record marks it finished. A daemon
 // killed outright (kill -9, OOM, power loss) therefore restarts with an
 // exact record of what it had promised but not delivered, and re-admits
-// that work automatically. Replay is torn-line tolerant: a crash mid-
-// append leaves a truncated last line, which is counted and skipped —
-// the job it described was never enqueued, so nothing is lost but the
-// unfinished byte tail.
+// that work automatically.
+//
+// The append/replay/compaction machinery itself lives in internal/wal
+// (it is shared with the gsched fleet coordinator); this file binds it
+// to gserved's SubmitRequest payloads. The on-disk format is unchanged
+// from when the journal was gserved-private, so logs written by earlier
+// versions replay as-is.
 package server
 
 import (
-	"bufio"
-	"bytes"
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
-	"sync"
 
-	"gpushare/internal/checkpoint"
 	"gpushare/internal/fault"
+	"gpushare/internal/wal"
 )
 
-// Journal record operations.
-const (
-	journalOpAccept = "accept" // durably admitted, work owed
-	journalOpDone   = "done"   // reached a terminal, non-resumable state
-)
-
-// journalRecord is one JSON line of the WAL.
+// journalRecord is one replayed pending submission.
 type journalRecord struct {
-	Op  string         `json:"op"`
-	Key string         `json:"key"`
-	Req *SubmitRequest `json:"req,omitempty"` // accept records only
+	Key string
+	Req *SubmitRequest
 }
 
-// journal is the append-only JSON-lines WAL. All methods are safe for
-// concurrent use; appends are fsync'd before they return.
+// journal wraps the shared WAL with gserved's record payloads.
 type journal struct {
-	mu   sync.Mutex
-	path string
-	f    *os.File
-
-	// faults, when non-nil, arms TornJournal injection on the append
-	// path (durability tests only): half a record is written, then the
-	// process "crashes" (panics with a CrashPoint).
-	faults *fault.Plan
-
-	pending  map[string]bool // accepted keys without a done record
-	appended int64
-	torn     int64 // truncated/unparseable lines skipped during replay
-	errors   int64 // append failures (journalling degrades, never blocks jobs)
+	l *wal.Log
 }
 
 // openJournal opens (creating if needed) the WAL at path, replays it,
 // compacts it down to just the still-pending accepts, and returns those
-// records in admission order so the server can re-admit them.
+// records in admission order so the server can re-admit them. Records
+// whose payload no longer decodes are dropped as torn.
 func openJournal(path string, faults *fault.Plan) (*journal, []journalRecord, error) {
-	j := &journal{path: path, faults: faults, pending: make(map[string]bool)}
-
-	var order []string
-	byKey := make(map[string]journalRecord)
-	if raw, err := os.ReadFile(path); err == nil {
-		sc := bufio.NewScanner(bytes.NewReader(raw))
-		sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
-		for sc.Scan() {
-			line := sc.Bytes()
-			if len(line) == 0 {
-				continue
-			}
-			var rec journalRecord
-			if err := json.Unmarshal(line, &rec); err != nil {
-				// A torn append (crash mid-write) or bit rot: the record
-				// never took effect, skip it.
-				j.torn++
-				continue
-			}
-			switch rec.Op {
-			case journalOpAccept:
-				if rec.Req == nil {
-					j.torn++
-					continue
-				}
-				if _, ok := byKey[rec.Key]; !ok {
-					order = append(order, rec.Key)
-				}
-				byKey[rec.Key] = rec
-			case journalOpDone:
-				delete(byKey, rec.Key)
-			default:
-				j.torn++
-			}
-		}
-	} else if !os.IsNotExist(err) {
-		return nil, nil, fmt.Errorf("journal: read %s: %w", path, err)
+	l, recs, err := wal.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
 	}
-
+	l.Faults = faults
 	var pending []journalRecord
-	for _, key := range order {
-		if rec, ok := byKey[key]; ok {
-			pending = append(pending, rec)
-			j.pending[key] = true
+	for _, rec := range recs {
+		var req SubmitRequest
+		if err := json.Unmarshal(rec.Req, &req); err != nil {
+			continue // undecodable payload: treat like a torn line
 		}
+		pending = append(pending, journalRecord{Key: rec.Key, Req: &req})
 	}
-
-	// Compact: rewrite the file to hold only the pending accepts, so
-	// the WAL stays bounded by outstanding work across restarts. The
-	// rewrite is atomic (temp + fsync + rename); a crash during it
-	// leaves the old journal, which replays to the same pending set.
-	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-		return nil, nil, fmt.Errorf("journal: %w", err)
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), "journal-tmp-*")
-	if err != nil {
-		return nil, nil, fmt.Errorf("journal: %w", err)
-	}
-	for _, rec := range pending {
-		line, err := json.Marshal(rec)
-		if err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-			return nil, nil, fmt.Errorf("journal: %w", err)
-		}
-		if _, err := tmp.Write(append(line, '\n')); err != nil {
-			tmp.Close()
-			os.Remove(tmp.Name())
-			return nil, nil, fmt.Errorf("journal: %w", err)
-		}
-	}
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return nil, nil, fmt.Errorf("journal: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return nil, nil, fmt.Errorf("journal: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return nil, nil, fmt.Errorf("journal: %w", err)
-	}
-
-	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
-	if err != nil {
-		return nil, nil, fmt.Errorf("journal: %w", err)
-	}
-	j.f = f
-	return j, pending, nil
+	return &journal{l: l}, pending, nil
 }
 
 // accept durably records an admitted submission. It must be called
 // before the job is enqueued: once accept returns, a restart owes the
 // client this job.
 func (j *journal) accept(key string, req *SubmitRequest) error {
-	err := j.append(journalRecord{Op: journalOpAccept, Key: key, Req: req})
-	if err == nil {
-		j.mu.Lock()
-		j.pending[key] = true
-		j.mu.Unlock()
-	}
-	return err
+	return j.l.Accept(key, req)
 }
 
 // done records that a job reached a terminal, non-resumable state
 // (finished or deterministically failed). Canceled jobs are deliberately
 // not marked done: their work is still owed and replays on restart.
 func (j *journal) done(key string) error {
-	err := j.append(journalRecord{Op: journalOpDone, Key: key})
-	if err == nil {
-		j.mu.Lock()
-		delete(j.pending, key)
-		j.mu.Unlock()
-	}
-	return err
-}
-
-// append writes one record as a JSON line and fsyncs it.
-func (j *journal) append(rec journalRecord) error {
-	line, err := json.Marshal(rec)
-	if err != nil {
-		return fmt.Errorf("journal: %w", err)
-	}
-	line = append(line, '\n')
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.faults.Trip(fault.TornJournal, -1, -1, -1,
-		fmt.Sprintf("journal record %s/%s torn mid-append, then crash", rec.Op, rec.Key)) {
-		j.f.Write(line[:len(line)/2])
-		j.f.Sync()
-		panic(&checkpoint.CrashPoint{Cycle: -1, Detail: "injected crash mid journal append"})
-	}
-	if _, err := j.f.Write(line); err != nil {
-		j.errors++
-		return fmt.Errorf("journal: %w", err)
-	}
-	if err := j.f.Sync(); err != nil {
-		j.errors++
-		return fmt.Errorf("journal: %w", err)
-	}
-	j.appended++
-	return nil
+	return j.l.Done(key)
 }
 
 // lag is the number of accepted-but-unfinished jobs the journal owes —
 // the work a crash right now would replay.
-func (j *journal) lag() int {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	return len(j.pending)
-}
+func (j *journal) lag() int { return j.l.Lag() }
 
 // snapshot fills the statusz view.
 func (j *journal) snapshot(replayed int64) *JournalStatus {
-	j.mu.Lock()
-	defer j.mu.Unlock()
+	st := j.l.Stats()
 	return &JournalStatus{
-		Path:      j.path,
-		Appended:  j.appended,
-		Pending:   len(j.pending),
-		Replayed:  replayed,
-		TornLines: j.torn,
-		Errors:    j.errors,
+		Path:        j.l.Path(),
+		Appended:    st.Appended,
+		Pending:     st.Pending,
+		Replayed:    replayed,
+		TornLines:   st.TornLines,
+		Errors:      st.Errors,
+		Compactions: st.Compactions,
 	}
 }
 
 // close releases the journal file (drain path; appends after close fail
 // and are counted, not fatal).
-func (j *journal) close() {
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if j.f != nil {
-		j.f.Close()
-	}
-}
+func (j *journal) close() { j.l.Close() }

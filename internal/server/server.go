@@ -80,6 +80,11 @@ type Options struct {
 	// JournalFaults, when non-nil, arms crash-point injection on the
 	// journal's append path (durability tests only).
 	JournalFaults *fault.Plan
+	// CrashFaults, when non-nil, arms fleet crash-point injection on the
+	// job execution path (fleet durability tests only): a
+	// WorkerCrashMidJob plan makes the daemon Kill itself — an in-process
+	// kill -9 analog — while the Nth dispatched job is running.
+	CrashFaults *fault.Plan
 }
 
 // job is one submission's server-side state. Transitions are guarded by
@@ -93,6 +98,10 @@ type job struct {
 	state string
 	res   runner.Result // valid once state is terminal
 	done  chan struct{}
+	// cancel aborts a running job's context (set while state is
+	// StateRunning, under Server.mu). A canceled job keeps its journal
+	// accept and checkpoint trail: its work is still owed somewhere.
+	cancel context.CancelFunc
 }
 
 // Server is the gserved daemon core: admission, job registry, worker
@@ -110,6 +119,7 @@ type Server struct {
 	jobs     map[string]*job
 	queue    chan *job
 	draining bool
+	killed   bool
 
 	wg    sync.WaitGroup
 	start time.Time
@@ -243,14 +253,31 @@ func (s *Server) worker() {
 // runJob executes one admitted job under the server context plus the
 // job's own deadline, then publishes the terminal state.
 func (s *Server) runJob(jb *job) {
+	s.mu.Lock()
+	if jb.state == StateCanceled {
+		// Canceled while still queued (preemption or client cancel):
+		// never run. cancelJob already published the terminal state.
+		s.mu.Unlock()
+		return
+	}
 	ctx := s.baseCtx
-	cancel := func() {}
+	var cancel context.CancelFunc
 	if !jb.deadline.IsZero() {
 		ctx, cancel = context.WithDeadline(ctx, jb.deadline)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
 	}
-	s.mu.Lock()
 	jb.state = StateRunning
+	jb.cancel = cancel
 	s.mu.Unlock()
+
+	// Fleet crash point: the worker dies abruptly (kill -9 analog) while
+	// this job is running — its journal accept stays pending, its
+	// checkpoint trail survives, and the coordinator must requeue it.
+	if s.opts.CrashFaults.Trip(fault.WorkerCrashMidJob, -1, -1, -1,
+		"worker killed mid-job "+jb.key) {
+		s.Kill()
+	}
 
 	res := s.r.DoCtx(ctx, jb.rjob)
 	cancel()
@@ -423,6 +450,68 @@ func (s *Server) lookupJob(key string) (*job, bool) {
 	return jb, true
 }
 
+// cancelJob aborts one job by key: a queued job flips straight to
+// canceled without ever running, a running job's context is canceled so
+// it stops within one cancellation stride, and a terminal job is left
+// untouched. The job's journal accept and checkpoint trail deliberately
+// survive — cancellation means "stop computing here", not "the work is
+// no longer owed" — which is exactly what the fleet coordinator's
+// preemption needs: the preempted job resumes from its trail on any
+// worker sharing the checkpoint directory. The second return is false
+// when the key is unknown.
+func (s *Server) cancelJob(key string) (*job, bool) {
+	s.mu.Lock()
+	jb, ok := s.jobs[key]
+	if !ok {
+		s.mu.Unlock()
+		return nil, false
+	}
+	switch jb.state {
+	case StateQueued:
+		jb.state = StateCanceled
+		jb.res = runner.Result{Job: jb.rjob, Key: key,
+			Err: fmt.Errorf("job %s: %w", jb.rjob, context.Canceled)}
+		s.mu.Unlock()
+		close(jb.done)
+		return jb, true
+	case StateRunning:
+		cancel := jb.cancel
+		s.mu.Unlock()
+		if cancel != nil {
+			cancel()
+		}
+		return jb, true
+	}
+	s.mu.Unlock()
+	return jb, true
+}
+
+// Kill is the abrupt-stop used by fleet crash tests: a kill -9 analog
+// that stays in-process. Admission stops, the base context is canceled
+// so in-flight jobs abort within one cancellation stride *without*
+// retiring their journal accepts, and the journal file handle drops.
+// Everything durable — journal, result cache, checkpoint trails — is
+// left exactly as a real kill -9 would leave it; the HTTP listener
+// (owned by the caller) keeps answering so probes see an explicit
+// "dead" readiness state instead of a timeout.
+func (s *Server) Kill() {
+	s.mu.Lock()
+	if s.killed {
+		s.mu.Unlock()
+		return
+	}
+	s.killed = true
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	s.cancel()
+	if s.jl != nil {
+		s.jl.close()
+	}
+}
+
 // jobLabel renders a job's workload field for status responses: the
 // workload name for single-kernel jobs, "policy(tenant+tenant)" for
 // multi-tenant ones.
@@ -533,6 +622,9 @@ func (s *Server) statusz() Statusz {
 	if s.draining {
 		state = "draining"
 	}
+	if s.killed {
+		state = "dead"
+	}
 	depth := len(s.queue)
 	s.mu.Unlock()
 
@@ -542,6 +634,7 @@ func (s *Server) statusz() Statusz {
 	}
 	return Statusz{
 		State:            state,
+		Build:            Build(),
 		Journal:          jl,
 		UptimeSec:        time.Since(s.start).Seconds(),
 		Workers:          s.opts.Workers,

@@ -16,6 +16,39 @@ const (
 	StateCanceled = "canceled" // aborted by deadline or drain; resubmittable
 )
 
+// Readiness states reported by GET /readyz. A load balancer or the
+// gsched coordinator keys off State: "draining" means alive and
+// finishing owed work (do not route new jobs, do not declare it dead),
+// while "dead" and a transport failure both mean the worker is gone.
+const (
+	ReadyOK        = "ready"
+	ReadyQueueFull = "queue-full" // alive, shedding: retry later
+	ReadyDraining  = "draining"   // alive, finishing in-flight work, not admitting
+	ReadyDead      = "dead"       // abrupt-stopped (crash emulation); work must be rescheduled
+	ReadyDegraded  = "degraded"   // gsched only: queueing, but no live workers to dispatch to
+)
+
+// ReadyzStatus is the body of GET /readyz (HTTP 200 when Ready, 503
+// otherwise, always with this JSON body so callers can tell the 503
+// flavors apart).
+type ReadyzStatus struct {
+	Ready         bool   `json:"ready"`
+	State         string `json:"state"`
+	RetryAfterSec int    `json:"retry_after_sec,omitempty"`
+	QueueDepth    int    `json:"queue_depth"`
+	QueueCap      int    `json:"queue_cap"`
+}
+
+// BuildInfo identifies the running binary for /statusz: the simulator
+// fingerprint (which versions cached results), the Go toolchain, and
+// the VCS revision when the binary carries one.
+type BuildInfo struct {
+	Fingerprint string `json:"fingerprint"`
+	GoVersion   string `json:"go_version"`
+	Revision    string `json:"revision,omitempty"`
+	Dirty       bool   `json:"dirty,omitempty"`
+}
+
 // SubmitRequest is the body of POST /v1/jobs and each element of a
 // sweep submission. Workload is required; Scale defaults to 1 and
 // Config to the paper's Table I baseline.
@@ -86,19 +119,21 @@ type ErrorBody struct {
 // is the journal lag: jobs durably accepted but not yet finished — what
 // a crash right now would replay on the next start.
 type JournalStatus struct {
-	Path      string `json:"path"`
-	Appended  int64  `json:"appended"`
-	Pending   int    `json:"pending"`
-	Replayed  int64  `json:"replayed"`
-	TornLines int64  `json:"torn_lines"`
-	Errors    int64  `json:"errors"`
+	Path        string `json:"path"`
+	Appended    int64  `json:"appended"`
+	Pending     int    `json:"pending"`
+	Replayed    int64  `json:"replayed"`
+	TornLines   int64  `json:"torn_lines"`
+	Errors      int64  `json:"errors"`
+	Compactions int64  `json:"compactions"`
 }
 
 // Statusz is the GET /statusz introspection snapshot. Runner carries
 // the checkpoint counters (CkSaved/CkRestored) alongside the cache and
 // simulation totals; Journal is present only when the WAL is enabled.
 type Statusz struct {
-	State      string         `json:"state"` // serving | draining
+	State      string         `json:"state"` // serving | draining | dead
+	Build      BuildInfo      `json:"build"`
 	Journal    *JournalStatus `json:"journal,omitempty"`
 	UptimeSec  float64        `json:"uptime_sec"`
 	Workers    int            `json:"workers"`

@@ -1,0 +1,219 @@
+package wal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+type payload struct {
+	N int `json:"n"`
+}
+
+// TestOpenReplaysPending covers the accept/done model: only accepts
+// without a done record replay, in admission order, with their payloads
+// intact.
+func TestOpenReplaysPending(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	l, pending, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pending) != 0 {
+		t.Fatalf("fresh log replays %d records, want 0", len(pending))
+	}
+	for i := 0; i < 5; i++ {
+		if err := l.Accept(fmt.Sprintf("k%d", i), payload{N: i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, k := range []string{"k1", "k3"} {
+		if err := l.Done(k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Close()
+
+	l2, pending, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	var keys []string
+	for _, rec := range pending {
+		keys = append(keys, rec.Key)
+		var p payload
+		if err := json.Unmarshal(rec.Req, &p); err != nil {
+			t.Fatalf("payload for %s does not decode: %v", rec.Key, err)
+		}
+		if want := fmt.Sprintf("k%d", p.N); want != rec.Key {
+			t.Fatalf("payload %d under key %s", p.N, rec.Key)
+		}
+	}
+	if got, want := strings.Join(keys, ","), "k0,k2,k4"; got != want {
+		t.Fatalf("pending = %s, want %s (admission order, dones retired)", got, want)
+	}
+}
+
+// TestTornTailTolerated: a truncated last line (crash mid-append) is
+// skipped and counted, and everything before it replays.
+func TestTornTailTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Accept("good", payload{N: 1}); err != nil {
+		t.Fatal(err)
+	}
+	l.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"op":"accept","key":"torn","req":{"n"`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	l2, pending, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(pending) != 1 || pending[0].Key != "good" {
+		t.Fatalf("pending = %+v, want just the good record", pending)
+	}
+	if st := l2.Stats(); st.TornLines != 1 {
+		t.Fatalf("torn lines = %d, want 1", st.TornLines)
+	}
+}
+
+// TestLiveCompactionUnderLoad hammers one log from many goroutines —
+// each accepting and retiring its own key stream while a subset of keys
+// is left owed — so live compaction races concurrent appends. The
+// coordinator reuses this journal for its queue state, so the property
+// under test is the fleet's durability floor: whatever interleaving of
+// appends and rewrites happens, a reopen must owe exactly the keys that
+// were accepted and never retired, and the file must stay bounded by
+// the backlog rather than by history.
+func TestLiveCompactionUnderLoad(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.CompactEvery = 8 // compact aggressively so rewrites race appends
+
+	const (
+		goroutines = 8
+		perG       = 60
+		keepEvery  = 10 // every 10th key stays pending
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				key := fmt.Sprintf("g%d-k%d", g, i)
+				if err := l.Accept(key, payload{N: i}); err != nil {
+					t.Errorf("accept %s: %v", key, err)
+					return
+				}
+				if i%keepEvery != 0 {
+					if err := l.Done(key); err != nil {
+						t.Errorf("done %s: %v", key, err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	wantPending := goroutines * (perG / keepEvery)
+	if st := l.Stats(); st.Pending != wantPending {
+		t.Fatalf("pending = %d, want %d", st.Pending, wantPending)
+	}
+	if st := l.Stats(); st.Compactions == 0 {
+		t.Fatal("no live compactions ran; the load test exercised nothing")
+	}
+	if st := l.Stats(); st.Errors != 0 {
+		t.Fatalf("append/compact errors = %d, want 0", st.Errors)
+	}
+	l.Close()
+
+	// The surviving file must be bounded by the backlog: pending accepts
+	// plus at most one uncompacted window of churn, nowhere near the
+	// full goroutines*perG history.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := 0
+	for _, ln := range strings.Split(string(raw), "\n") {
+		if strings.TrimSpace(ln) != "" {
+			lines++
+		}
+	}
+	maxLines := wantPending + 3*l.CompactEvery*goroutines
+	if lines > maxLines {
+		t.Fatalf("journal holds %d lines after load, want <= %d (compaction is not bounding it)", lines, maxLines)
+	}
+
+	// Reopen: exactly the never-retired keys are owed.
+	l2, pending, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	got := make(map[string]bool, len(pending))
+	for _, rec := range pending {
+		got[rec.Key] = true
+	}
+	if len(got) != wantPending {
+		t.Fatalf("reopen owes %d keys, want %d", len(got), wantPending)
+	}
+	for g := 0; g < goroutines; g++ {
+		for i := 0; i < perG; i += keepEvery {
+			key := fmt.Sprintf("g%d-k%d", g, i)
+			if !got[key] {
+				t.Fatalf("reopen lost owed key %s", key)
+			}
+		}
+	}
+}
+
+// TestCompactionPreservesAppendHandle: appends after a live compaction
+// land in the new file, not the unlinked old inode.
+func TestCompactionPreservesAppendHandle(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.jsonl")
+	l, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.CompactEvery = 1 // every Done rewrites
+	if err := l.Accept("a", payload{N: 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Done("a"); err != nil { // triggers rewrite to empty
+		t.Fatal(err)
+	}
+	if err := l.Accept("b", payload{N: 1}); err != nil { // post-rewrite append
+		t.Fatal(err)
+	}
+	l.Close()
+	l2, pending, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if len(pending) != 1 || pending[0].Key != "b" {
+		t.Fatalf("pending = %+v, want just b", pending)
+	}
+}

@@ -5,8 +5,10 @@
 # admission-saturation test), a fuzz smoke pass over the assembler,
 # ISA evaluator, and checkpoint decoder, an invariant-audited tier-1
 # run, a gserved smoke test (start on a random port, submit a job,
-# drain via SIGTERM), and a crash-recovery smoke (kill -9 mid-job,
-# journal replay and checkpoint resume after restart).
+# drain via SIGTERM), a crash-recovery smoke (kill -9 mid-job,
+# journal replay and checkpoint resume after restart), and a gsched
+# fleet smoke (coordinator + two workers, kill -9 one worker
+# mid-sweep, every job finishes byte-identical to a single-node run).
 # Run from the repository root:
 #
 #     ./tools/check.sh          # race tests in -short mode (~seconds)
@@ -38,6 +40,9 @@ go test -race $short ./internal/runner/ ./internal/harness/
 echo "== go test -race (server saturation + drain, client retries)"
 go test -race $short ./internal/server/ ./internal/client/
 
+echo "== go test -race (fleet coordinator, wal journal)"
+go test -race $short ./internal/fleet/ ./internal/wal/
+
 echo "== go test -race (parallel cycle engine determinism)"
 go test -race $short -run 'TestEngineDeterminism|TestLaunchQueue' ./internal/gpu/
 
@@ -55,8 +60,14 @@ GPUSHARE_INVARIANT_STRIDE=256 go test $short ./internal/gpu/ ./internal/workload
 echo "== gserved smoke test (submit, statusz, SIGTERM drain)"
 smoketmp=$(mktemp -d)
 smokepid=""
+w1pid=""
+w2pid=""
+basepid=""
+schedpid=""
 cleanup_smoke() {
-    [ -n "$smokepid" ] && kill -9 "$smokepid" 2>/dev/null
+    for p in $smokepid $w1pid $w2pid $basepid $schedpid; do
+        kill -9 "$p" 2>/dev/null || true
+    done
     rm -rf "$smoketmp"
 }
 trap cleanup_smoke EXIT
@@ -261,5 +272,196 @@ if [ "$rc" != 0 ]; then
     cat "$smoketmp/crash2.log" >&2
     exit 1
 fi
+
+echo "== gsched fleet smoke (2 workers, kill -9 one mid-sweep, byte-identical results)"
+# Start a coordinator over two workers sharing a checkpoint directory,
+# submit a four-job sweep whose first two jobs run for seconds, kill -9
+# one worker while both are mid-job, and verify that every job still
+# reaches done with stats byte-identical to a fresh single-node run.
+command -v jq >/dev/null 2>&1 || {
+    echo "fleet smoke needs jq for the byte-identical stats comparison" >&2
+    exit 1
+}
+go build -o "$smoketmp/gsched" ./cmd/gsched
+
+start_fleet_worker() { # $1 = log file, $2 = cache dir
+    "$smoketmp/gserved" -addr 127.0.0.1:0 -cachedir "$2" \
+        -checkpoint-dir "$smoketmp/fleetckpt" -checkpoint-stride 20000 \
+        >"$1" 2>&1 &
+    wpid=$!
+    addr=""
+    i=0
+    while [ $i -lt 50 ]; do
+        addr=$(sed -n 's/^gserved: listening on //p' "$1")
+        [ -n "$addr" ] && break
+        kill -0 "$wpid" 2>/dev/null || break
+        sleep 0.1
+        i=$((i + 1))
+    done
+    if [ -z "$addr" ]; then
+        echo "fleet worker did not start:" >&2
+        cat "$1" >&2
+        exit 1
+    fi
+}
+
+start_fleet_worker "$smoketmp/w1.log" "$smoketmp/fleetcache1"
+w1pid=$wpid
+w1addr=$addr
+start_fleet_worker "$smoketmp/w2.log" "$smoketmp/fleetcache2"
+w2pid=$wpid
+w2addr=$addr
+
+"$smoketmp/gsched" -addr 127.0.0.1:0 -lease 1s \
+    -worker "http://$w1addr" -worker "http://$w2addr" \
+    -journal "$smoketmp/fleetjournal.jsonl" \
+    >"$smoketmp/gsched.log" 2>&1 &
+schedpid=$!
+schedaddr=""
+i=0
+while [ $i -lt 50 ]; do
+    schedaddr=$(sed -n 's/^gsched: listening on //p' "$smoketmp/gsched.log")
+    [ -n "$schedaddr" ] && break
+    kill -0 "$schedpid" 2>/dev/null || break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$schedaddr" ]; then
+    echo "gsched did not start:" >&2
+    cat "$smoketmp/gsched.log" >&2
+    exit 1
+fi
+
+# The first two jobs take ~5s each, so with one slot per worker both
+# workers are mid-job when the kill lands.
+sweep='{"jobs":[{"workload":"hotspot","scale":2},{"workload":"stencil","scale":2},{"workload":"sgemm","scale":2},{"workload":"gaussian","scale":2}]}'
+code=$(curl -s -o "$smoketmp/sweep.json" -w '%{http_code}' \
+    -X POST "http://$schedaddr/v1/sweeps" -d "$sweep")
+if [ "$code" != 200 ]; then
+    echo "gsched sweep submit: HTTP $code" >&2
+    cat "$smoketmp/sweep.json" >&2
+    exit 1
+fi
+if [ "$(jq -r '.rejected // 0' "$smoketmp/sweep.json")" != 0 ]; then
+    echo "gsched sweep rejected jobs:" >&2
+    cat "$smoketmp/sweep.json" >&2
+    exit 1
+fi
+keys=$(jq -r '.jobs[].key' "$smoketmp/sweep.json")
+
+sleep 0.7
+kill -9 "$w1pid"
+wait "$w1pid" 2>/dev/null || true
+w1pid=""
+
+# Every job must still reach done (shared 120s budget across the sweep;
+# the survivor re-runs the orphan, resuming from its checkpoint trail).
+i=0
+for key in $keys; do
+    jobdone=""
+    while [ $i -lt 1200 ]; do
+        curl -s -o "$smoketmp/fleetjob_$key.json" \
+            "http://$schedaddr/v1/jobs/$key" || true
+        if grep -q '"state":"done"' "$smoketmp/fleetjob_$key.json"; then
+            jobdone=1
+            break
+        fi
+        if grep -q '"state":"failed"' "$smoketmp/fleetjob_$key.json"; then
+            break
+        fi
+        sleep 0.1
+        i=$((i + 1))
+    done
+    if [ -z "$jobdone" ]; then
+        echo "fleet job $key did not finish after the worker kill:" >&2
+        cat "$smoketmp/fleetjob_$key.json" >&2
+        cat "$smoketmp/gsched.log" >&2
+        exit 1
+    fi
+done
+
+# The coordinator must have noticed the death and requeued the orphan,
+# and the queue journal must be fully retired once everything is done.
+i=0
+while [ $i -lt 50 ]; do
+    curl -s -o "$smoketmp/fleetstatusz.json" "http://$schedaddr/statusz"
+    jq -e '.journal.pending == 0' "$smoketmp/fleetstatusz.json" >/dev/null && break
+    sleep 0.1
+    i=$((i + 1))
+done
+jq -e '.worker_deaths >= 1 and .requeues >= 1 and .completed == 4 and .journal.pending == 0' \
+    "$smoketmp/fleetstatusz.json" >/dev/null || {
+    echo "gsched statusz does not reflect the worker death and recovery:" >&2
+    cat "$smoketmp/fleetstatusz.json" >&2
+    exit 1
+}
+
+# Ground truth: a fresh single-node gserved (cold cache, no
+# checkpoints) must produce byte-identical stats for every job.
+"$smoketmp/gserved" -addr 127.0.0.1:0 -cachedir "$smoketmp/fleetcache3" \
+    >"$smoketmp/base.log" 2>&1 &
+basepid=$!
+baseaddr=""
+i=0
+while [ $i -lt 50 ]; do
+    baseaddr=$(sed -n 's/^gserved: listening on //p' "$smoketmp/base.log")
+    [ -n "$baseaddr" ] && break
+    kill -0 "$basepid" 2>/dev/null || break
+    sleep 0.1
+    i=$((i + 1))
+done
+if [ -z "$baseaddr" ]; then
+    echo "baseline gserved did not start:" >&2
+    cat "$smoketmp/base.log" >&2
+    exit 1
+fi
+
+n=0
+for key in $keys; do
+    job=$(jq -c ".jobs[$n]" "$smoketmp/sweep.json" |
+        jq -c '{workload: .workload, scale: .scale}')
+    code=$(curl -s -o "$smoketmp/basejob_$key.json" -w '%{http_code}' \
+        -X POST "http://$baseaddr/v1/jobs?wait=1" -d "$job")
+    if [ "$code" != 200 ]; then
+        echo "baseline submit for $job: HTTP $code" >&2
+        cat "$smoketmp/basejob_$key.json" >&2
+        exit 1
+    fi
+    jq -S '.stats' "$smoketmp/fleetjob_$key.json" >"$smoketmp/fleet_$key.stats"
+    jq -S '.stats' "$smoketmp/basejob_$key.json" >"$smoketmp/base_$key.stats"
+    if ! grep -q '"Cycles"' "$smoketmp/fleet_$key.stats"; then
+        echo "fleet job $key carries no stats:" >&2
+        cat "$smoketmp/fleetjob_$key.json" >&2
+        exit 1
+    fi
+    if ! cmp -s "$smoketmp/fleet_$key.stats" "$smoketmp/base_$key.stats"; then
+        echo "fleet stats for $key differ from the single-node run:" >&2
+        diff "$smoketmp/fleet_$key.stats" "$smoketmp/base_$key.stats" >&2 || true
+        exit 1
+    fi
+    n=$((n + 1))
+done
+
+# SIGTERM must drain the coordinator cleanly.
+kill -TERM "$schedpid"
+i=0
+while [ $i -lt 100 ]; do
+    kill -0 "$schedpid" 2>/dev/null || break
+    sleep 0.1
+    i=$((i + 1))
+done
+rc=0
+wait "$schedpid" || rc=$?
+schedpid=""
+if [ "$rc" != 0 ]; then
+    echo "gsched drain exited $rc:" >&2
+    cat "$smoketmp/gsched.log" >&2
+    exit 1
+fi
+grep -q '^gsched: drained' "$smoketmp/gsched.log" || {
+    echo "gsched did not report a clean drain:" >&2
+    cat "$smoketmp/gsched.log" >&2
+    exit 1
+}
 
 echo "ok"
