@@ -278,6 +278,19 @@ type Config struct {
 	// cycle, so every stride-aligned snapshot happens at its exact cycle
 	// even when the engine is skipping idle spans.
 	CheckpointStride int64 `json:"-"`
+
+	// NoSMSleep disables the per-SM sleep/wake fast-forward: normally an
+	// SM whose warps are all blocked (memory replies, barriers, pipeline
+	// latency) with a provable wake cycle is skipped in the per-cycle
+	// fan-out until that cycle, or until an external event (memory
+	// reply, block launch) wakes it early, while busy SMs keep ticking.
+	// The skip is exact — a sleeping SM's skipped cycles contribute
+	// their per-cycle statistics via the same replay arithmetic as the
+	// machine-global fast-forward — so like NoFastForward this is an
+	// engine knob excluded from the canonical configuration and the
+	// sim-v1 result fingerprint; it exists as a determinism escape hatch
+	// (GPUSHARE_NOSMSLEEP=1) and for the equivalence regression tests.
+	NoSMSleep bool `json:"-"`
 }
 
 // Default returns the Table I baseline configuration.

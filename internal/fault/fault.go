@@ -33,6 +33,7 @@ const (
 	WorkerCrashMidJob         // a gserved worker dies abruptly (kill -9) while a dispatched job is running
 	CrashAfterDispatch        // the gsched coordinator dies between dispatching a job to a worker and recording the ack
 	HeartbeatBlackhole        // a network partition: the worker stays alive but every coordinator probe to it is dropped
+	MissedWake                // a sleeping SM's wake cycle is pushed past its true horizon: the sleep skips live work
 )
 
 func (k Kind) String() string {
@@ -59,6 +60,8 @@ func (k Kind) String() string {
 		return "crash-after-dispatch"
 	case HeartbeatBlackhole:
 		return "heartbeat-blackhole"
+	case MissedWake:
+		return "missed-wake"
 	}
 	return "none"
 }

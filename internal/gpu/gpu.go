@@ -77,7 +77,25 @@ type Sim struct {
 	// is touched.
 	RestoreFrom []byte
 
+	// SleepTrace, when non-nil, observes every per-SM sleep entry with
+	// the SM's ID, the cycle the sleep was entered, and the computed
+	// wake cycle (test hook: the checkpoint determinism tests compare
+	// wake cycles across original and restored runs).
+	SleepTrace func(smID int, now, wakeAt int64)
+
 	ms *mem.System
+}
+
+// engineOpts builds the cycle-engine options for this run: per-SM
+// sleep is on unless dynamic warp execution is active (its issue gate
+// consumes per-attempt randomness, so no cycle is ever provably
+// frozen), a fault plan other than MissedWake is armed (fault trips
+// count opportunities, so skipping cycles would change which event is
+// corrupted), or the NoSMSleep escape hatch is set.
+func (s *Sim) engineOpts() engineOpts {
+	sleep := !s.Cfg.DynWarp && !s.Cfg.NoSMSleep && !envNoSMSleep() &&
+		(s.Faults == nil || s.Faults.Kind == fault.MissedWake)
+	return engineOpts{sleep: sleep, ms: s.ms, faults: s.Faults, trace: s.SleepTrace}
 }
 
 // envInvariantStride reads GPUSHARE_INVARIANT_STRIDE: a positive
@@ -237,8 +255,9 @@ func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) 
 	if s.Faults != nil {
 		workers = 1
 	}
-	eng := newCycleEngine(sms, workers)
+	eng := newCycleEngine(sms, workers, s.engineOpts())
 	defer eng.close()
+	chk.SetSleepSource(eng)
 
 	// Idle fast-forward (see DESIGN.md): after a quiet cycle — no issue,
 	// no launch — one more cycle is simulated normally as the "model"
@@ -259,6 +278,7 @@ func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) 
 		// live. The resumedAt guard keeps a restored run from instantly
 		// re-writing the checkpoint it came from.
 		if sink != nil && now > 0 && now%ckStride == 0 && now != resumedAt {
+			eng.materialize(now - 1) // sleeping SMs' counters, exact to end of now-1
 			p, err := s.newPayload(modeSingle, kernels, nil, now, sms)
 			if err != nil {
 				return nil, err
@@ -303,6 +323,7 @@ func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) 
 		for pending.len() > 0 && pending.front().at <= now {
 			p := pending.pop()
 			if nextCTA < totalBlocks {
+				eng.notifyLaunch(p.sm, now)
 				if err := sms[p.sm].LaunchBlock(p.slot, nextCTA); err != nil {
 					se := simerr.Wrap(simerr.KindInvariant, now, err)
 					se.SM = p.sm
@@ -324,6 +345,7 @@ func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) 
 		dyn.maybeAdjust(now)
 
 		if tracing && now%s.Cfg.TraceInterval == 0 {
+			eng.materialize(now)
 			s.traceSnapshot(now, sms, nextCTA, launch.GridDim)
 		}
 
@@ -362,9 +384,16 @@ func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) 
 			ffJumpTo = -1
 			if !anyIssued && !launched {
 				if skip := h - now - 1; skip > 0 {
+					// Sleeping SMs are excluded: they did not tick the
+					// model cycle (zero delta against the snapshot), and
+					// their skipped cycles are covered exactly by their
+					// own sleep replay, which globalSkip advances below.
 					for i := range sms {
-						sms[i].Stats.ScaleForward(&ffSnap[i], skip)
+						if !eng.asleep(i) {
+							sms[i].Stats.ScaleForward(&ffSnap[i], skip)
+						}
 					}
+					eng.globalSkip(now + skip)
 					now += skip // loop increment lands on cycle h
 				}
 			}
@@ -377,7 +406,7 @@ func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) 
 			// so don't recompute the horizon until then (quiet cycles
 			// under heavy memory traffic would otherwise pay the
 			// horizon walk every cycle for no jump).
-			h := s.eventHorizon(now, sms, &pending, stride, ckStride, tracing, lastProgress, window, maxCycles)
+			h := s.eventHorizon(now, sms, eng, &pending, stride, ckStride, tracing, lastProgress, window, maxCycles)
 			if h > now+2 {
 				if ffSnap == nil {
 					ffSnap = make([]stats.SM, len(sms))
@@ -392,6 +421,7 @@ func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) 
 		}
 	}
 
+	eng.materialize(now) // idle sleeping SMs still hold un-replayed cycles
 	g := &stats.GPU{Cycles: now + 1, ResidentTB: occ.Max}
 	for _, sm := range sms {
 		sm.FinalizeStats()
@@ -447,14 +477,26 @@ func (s *Sim) traceSnapshot(now int64, sms []*smcore.SM, nextCTA, grid int) {
 // snapshots, the watchdog deadline, and the MaxCycles abort. Because
 // nothing can change state strictly before the returned cycle, skipping
 // those cycles is exact, not approximate.
-func (s *Sim) eventHorizon(now int64, sms []*smcore.SM, pending *launchQueue,
+//
+// Sleeping SMs are read from the engine instead of walked: a sleeping
+// SM's wake cycle is exactly the horizon bound the walk would compute
+// (its local horizon combined with the earliest deliverable reply,
+// kept current by the reply observer), already memoized — so on a
+// mostly-asleep machine the per-SM wheel scans collapse to O(1) reads.
+func (s *Sim) eventHorizon(now int64, sms []*smcore.SM, eng *cycleEngine, pending *launchQueue,
 	stride, ckStride int64, tracing bool, lastProgress, window, maxCycles int64) int64 {
 	h := s.ms.NextEvent(now)
 	if h <= now+2 {
 		return h // too close to arm; skip the per-SM walk
 	}
-	for _, sm := range sms {
-		if at := sm.NextLocalEvent(now); at < h {
+	for i, sm := range sms {
+		var at int64
+		if eng.asleep(i) {
+			at = eng.st[i].wakeAt
+		} else {
+			at = sm.ProgressHorizon(now)
+		}
+		if at < h {
 			h = at
 		}
 	}

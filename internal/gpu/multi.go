@@ -211,12 +211,14 @@ func (s *Sim) runPlaced(ctx context.Context, spec *tenancy.Spec, launches []*ker
 	if s.Faults != nil {
 		workers = 1
 	}
-	eng := newCycleEngine(sms, workers)
+	eng := newCycleEngine(sms, workers, s.engineOpts())
 	defer eng.close()
+	chk.SetSleepSource(eng)
 
 	var now int64
 	for now = startAt; ; now++ {
 		if sink != nil && now > 0 && now%ckStride == 0 && now != resumedAt {
+			eng.materialize(now - 1) // sleeping SMs' counters, exact to end of now-1
 			p, err := s.newPayload(modePlaced, kernels, spec, now, sms)
 			if err != nil {
 				return nil, err
@@ -262,6 +264,7 @@ func (s *Sim) runPlaced(ctx context.Context, spec *tenancy.Spec, launches []*ker
 			p := pending.pop()
 			ti := sms[p.sm].TenantOfSlot(p.slot)
 			if next[ti] < total[ti] {
+				eng.notifyLaunch(p.sm, now)
 				if err := sms[p.sm].LaunchBlock(p.slot, next[ti]); err != nil {
 					se := simerr.Wrap(simerr.KindInvariant, now, err)
 					se.SM = sms[p.sm].ID
@@ -298,6 +301,7 @@ func (s *Sim) runPlaced(ctx context.Context, spec *tenancy.Spec, launches []*ker
 		}
 	}
 
+	eng.materialize(now) // sleeping SMs still hold un-replayed cycles
 	g := &stats.GPU{Cycles: now + 1}
 	for si := range pl.SMs {
 		slots := 0
@@ -431,7 +435,8 @@ func (s *Sim) runTimeSlice(ctx context.Context, spec *tenancy.Spec, launches []*
 			sms[i] = sm
 		}
 		chk := invariant.New(stride, invariant.ClassAll, sms, s.ms)
-		eng := newCycleEngine(sms, workers)
+		eng := newCycleEngine(sms, workers, s.engineOpts())
+		chk.SetSleepSource(eng)
 
 		var pending launchQueue
 		var sliceEnd, lastProgress int64
@@ -469,6 +474,7 @@ func (s *Sim) runTimeSlice(ctx context.Context, spec *tenancy.Spec, launches []*
 		}
 		for ; ; now++ {
 			if sink != nil && now > 0 && now%ckStride == 0 && now != resumedAt {
+				eng.materialize(now - 1) // sleeping SMs' counters, exact to end of now-1
 				p, err := s.newPayload(modeTimeslice, kernels, spec, now, sms)
 				if err != nil {
 					eng.close()
@@ -525,6 +531,7 @@ func (s *Sim) runTimeSlice(ctx context.Context, spec *tenancy.Spec, launches []*
 			for pending.len() > 0 && pending.front().at <= now {
 				p := pending.pop()
 				if now < sliceEnd && next[ti] < total[ti] {
+					eng.notifyLaunch(p.sm, now)
 					if err := sms[p.sm].LaunchBlock(p.slot, next[ti]); err != nil {
 						eng.close()
 						se := simerr.Wrap(simerr.KindInvariant, now, err)
@@ -569,6 +576,10 @@ func (s *Sim) runTimeSlice(ctx context.Context, spec *tenancy.Spec, launches []*
 						window, ti))
 			}
 		}
+		// A slice ends only when every SM is idle, so any still-sleeping
+		// SM is idle (zero per-cycle delta) — materialize regardless, so
+		// the replay bookkeeping is settled before stats collection.
+		eng.materialize(now)
 		eng.close()
 
 		slice := &stats.GPU{ResidentTB: occ.Max}

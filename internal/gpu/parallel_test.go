@@ -78,15 +78,22 @@ func TestEngineDeterminism(t *testing.T) {
 		workers int
 		noFF    bool
 		noSnap  bool
+		noSleep bool
 	}{
-		{"workers=1 ff=on", 1, false, false},
-		{"workers=gomaxprocs ff=on", 0, false, false},
-		{"workers=2 ff=off", 2, true, false},
+		{"workers=1 ff=on", 1, false, false, false},
+		{"workers=gomaxprocs ff=on", 0, false, false, false},
+		{"workers=2 ff=off", 2, true, false, false},
 		// NoSnapshot disables the ready-set engine's cached warp
 		// snapshots and incremental rankings; the recompute path must
 		// stay bit-identical (the reference runs with snapshots on).
-		{"workers=1 ff=on nosnapshot", 1, false, true},
-		{"workers=2 ff=off nosnapshot", 2, true, true},
+		{"workers=1 ff=on nosnapshot", 1, false, true, false},
+		{"workers=2 ff=off nosnapshot", 2, true, true, false},
+		// NoSMSleep disables the per-SM sleep/wake fast-forward; the
+		// reference runs with sleep off, so these legs prove the awake
+		// engine is unchanged while the legs above prove sleep replays
+		// are exact.
+		{"workers=1 ff=on nosleep", 1, false, false, true},
+		{"workers=2 ff=off nosleep", 2, true, false, true},
 	}
 	for _, c := range engineCases {
 		t.Run(c.name, func(t *testing.T) {
@@ -96,6 +103,7 @@ func TestEngineDeterminism(t *testing.T) {
 			refCfg := c.cfg()
 			refCfg.SMWorkers = 1
 			refCfg.NoFastForward = true
+			refCfg.NoSMSleep = true
 			ref := runWorkload(t, c.workload, refCfg, 1)
 			refJSON, err := ref.EncodeJSON()
 			if err != nil {
@@ -107,6 +115,7 @@ func TestEngineDeterminism(t *testing.T) {
 					cfg.SMWorkers = v.workers
 					cfg.NoFastForward = v.noFF
 					cfg.NoSnapshot = v.noSnap
+					cfg.NoSMSleep = v.noSleep
 					g := runWorkload(t, c.workload, cfg, 1)
 					if !reflect.DeepEqual(ref, g) {
 						t.Errorf("stats diverge from sequential reference:\n--- reference\n%s--- variant\n%s",
@@ -154,6 +163,7 @@ func TestEngineDeterminism(t *testing.T) {
 					cfg.SMWorkers = v.workers
 					cfg.NoFastForward = v.noFF
 					cfg.NoSnapshot = v.noSnap
+					cfg.NoSMSleep = v.noSleep
 					if j := encodeJSON(t, runWorkloadCK(t, c.workload, cfg, 1, nil, sink.Get(mid))); j != string(refJSON) {
 						t.Errorf("restore at cycle %d under %s diverges from straight-through", mid, v.name)
 					}

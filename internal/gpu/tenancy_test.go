@@ -90,11 +90,17 @@ func TestTenancyDeterminism(t *testing.T) {
 		name    string
 		workers int
 		noSnap  bool
+		noSleep bool
 	}{
-		{"workers=gomaxprocs", 0, false},
-		{"workers=2", 2, false},
-		{"workers=1 nosnapshot", 1, true},
-		{"workers=2 nosnapshot", 2, true},
+		{"workers=gomaxprocs", 0, false, false},
+		{"workers=2", 2, false, false},
+		{"workers=1 nosnapshot", 1, true, false},
+		{"workers=2 nosnapshot", 2, true, false},
+		// The reference runs with per-SM sleep off; these legs prove
+		// the awake engine is unchanged while the legs above prove the
+		// sleep replays are exact under every policy.
+		{"workers=1 nosleep", 1, false, true},
+		{"workers=2 nosleep", 2, false, true},
 	}
 	for _, policy := range []tenancy.Policy{tenancy.Spatial, tenancy.CoSched, tenancy.TimeSlice} {
 		t.Run(policy.String(), func(t *testing.T) {
@@ -105,6 +111,7 @@ func TestTenancyDeterminism(t *testing.T) {
 			}
 			refCfg := baseCfg()
 			refCfg.SMWorkers = 1
+			refCfg.NoSMSleep = true
 			ref := runMulti(t, refCfg, twoTenantSpec(policy), 1)
 			refJSON, err := ref.EncodeJSON()
 			if err != nil {
@@ -118,6 +125,7 @@ func TestTenancyDeterminism(t *testing.T) {
 					cfg := baseCfg()
 					cfg.SMWorkers = v.workers
 					cfg.NoSnapshot = v.noSnap
+					cfg.NoSMSleep = v.noSleep
 					g := runMulti(t, cfg, twoTenantSpec(policy), 1)
 					if !reflect.DeepEqual(ref, g) {
 						t.Errorf("stats diverge from sequential reference:\n--- reference\n%s--- variant\n%s",
@@ -179,6 +187,7 @@ func TestTenancyDeterminism(t *testing.T) {
 					cfg := baseCfg()
 					cfg.SMWorkers = v.workers
 					cfg.NoSnapshot = v.noSnap
+					cfg.NoSMSleep = v.noSleep
 					if j := encodeJSON(t, runMultiCK(t, cfg, twoTenantSpec(policy), 1, nil, sink.Get(mid))); j != string(refJSON) {
 						t.Errorf("restore at cycle %d under %s diverges from straight-through", mid, v.name)
 					}

@@ -103,6 +103,27 @@ func (n *Network) NextReady(now int64) int64 {
 	return next
 }
 
+// NextReadyPort is NextReady for a single destination port: the
+// earliest future cycle at which dst could deliver a packet, or
+// math.MaxInt64 when the port is empty. A packet that is already
+// deliverable (held back only by the one-per-cycle ejection bandwidth)
+// reports now+1. The per-SM sleep machinery uses it to bound one SM's
+// wake cycle without scanning every port.
+func (n *Network) NextReadyPort(dst int, now int64) int64 {
+	q := &n.ports[dst]
+	if q.n == 0 {
+		return math.MaxInt64
+	}
+	at := q.front().readyAt
+	if at <= now {
+		at = now + 1
+	}
+	return at
+}
+
+// Latency returns the network's fixed traversal latency in cycles.
+func (n *Network) Latency() int64 { return n.latency }
+
 // ForEach calls f for every undelivered packet payload, oldest first
 // within each port. Read-only; used by the invariant auditor.
 func (n *Network) ForEach(f func(payload any)) {

@@ -58,6 +58,42 @@ type System struct {
 	toMem      *icnt.Network
 	toSM       *icnt.Network
 	Global     *Global
+
+	// replyObs, when set, is called whenever a reply is pushed toward an
+	// SM, with the earliest cycle at which that SM could pop it. The
+	// per-SM sleep machinery uses it to wake a sleeping SM whose wake
+	// cycle predates the new reply's arrival would otherwise be missed —
+	// i.e. to shorten a sleep when fresh traffic arrives. Called from
+	// Tick only (single-goroutine), never from the SM workers.
+	replyObs func(sm int, readyAt int64)
+}
+
+// SetReplyObserver installs (or, with nil, removes) the reply-delivery
+// callback. See the replyObs field comment for the contract.
+func (s *System) SetReplyObserver(f func(sm int, readyAt int64)) { s.replyObs = f }
+
+// notifyReply fires the reply observer for a reply pushed at cycle now.
+// The reply becomes poppable after the reply-network latency, but never
+// in the same cycle it was pushed.
+func (s *System) notifyReply(sm int, now int64) {
+	if s.replyObs == nil {
+		return
+	}
+	rdy := now + s.toSM.Latency()
+	if rdy <= now {
+		rdy = now + 1
+	}
+	s.replyObs(sm, rdy)
+}
+
+// NextReplyAt returns the earliest future cycle (> now) at which the
+// reply network could deliver a packet to the given SM, or
+// math.MaxInt64 when nothing is in flight toward it. Replies already
+// deliverable (held back only by the one-per-cycle ejection bandwidth)
+// report now+1, so an SM with a reply backlog never sleeps past its
+// next drain opportunity.
+func (s *System) NextReplyAt(sm int, now int64) int64 {
+	return s.toSM.NextReadyPort(sm, now)
 }
 
 // NewSystem builds the memory system for a configuration.
@@ -121,6 +157,7 @@ func (s *System) Tick(now int64) {
 			delete(p.mshr, req.LineAddr)
 			for _, w := range waiters {
 				s.toSM.Push(w.SM, w, now)
+				s.notifyReply(w.SM, now)
 			}
 		}
 		// L2 hits that finished their hit latency. pending is consumed
@@ -129,6 +166,7 @@ func (s *System) Tick(now int64) {
 		for p.pendHead < len(p.pending) && p.pending[p.pendHead].at <= now {
 			d := &p.pending[p.pendHead]
 			s.toSM.Push(d.req.SM, d.req, now)
+			s.notifyReply(d.req.SM, now)
 			d.req = nil
 			p.pendHead++
 		}

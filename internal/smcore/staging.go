@@ -91,14 +91,27 @@ func (sm *SM) FlushMem(now int64) {
 	sm.outbox = sm.outbox[:0]
 }
 
-// NextLocalEvent returns the earliest future cycle at which this SM's
-// state can change without a memory reply arriving: the next writeback
-// deadline or the cycle the LSU frees up. math.MaxInt64 when neither is
-// pending. Used by the idle fast-forward to bound its jump.
-func (sm *SM) NextLocalEvent(now int64) int64 {
+// ProgressHorizon returns the earliest future cycle at which this SM's
+// state can change without external input (a memory reply or a block
+// launch): the next writeback deadline or the cycle a busy LSU/SFU
+// frees up. math.MaxInt64 when none is pending.
+//
+// Completeness argument (this is what makes per-SM sleep exact): every
+// other piece of SM state that gates issue — barrier arrival counts,
+// scoreboard dependency masks, pair-sharing leases, scheduler ready
+// sets, MSHR occupancy — changes only as a consequence of an issue, a
+// writeback retiring, a memory reply draining, or a block launch. If no
+// warp can issue at cycle `now` and the stall inputs are constant, no
+// warp can issue at any cycle before min(horizon, next reply, next
+// launch) either, so both the machine-global idle fast-forward and the
+// per-SM sleep may skip the intervening cycles exactly.
+func (sm *SM) ProgressHorizon(now int64) int64 {
 	next := sm.wb.nextAt(now)
 	if sm.lsuBusy > now && sm.lsuBusy < next {
 		next = sm.lsuBusy
+	}
+	if sm.sfuBusy > now && sm.sfuBusy < next {
+		next = sm.sfuBusy
 	}
 	return next
 }
