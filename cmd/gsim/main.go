@@ -113,6 +113,8 @@ func main() {
 		cacheDir = flag.String("cachedir", "", "on-disk result cache directory: identical runs are served from cache ('' disables; ignored with -trace)")
 		smw      = flag.Int("smworkers", 0, "cycle-engine workers (0 = GOMAXPROCS, 1 = sequential; results identical at any value)")
 		noFF     = flag.Bool("noff", false, "disable the idle fast-forward (debugging; results identical either way)")
+		noMemSlp = flag.Bool("nomemsleep", false, "disable the event-driven memory tick (debugging; results identical either way)")
+		verbose  = flag.Bool("v", false, "print the per-partition memory breakdown after the run")
 		ckStride = flag.Int64("checkpoint-stride", 0, "write a machine snapshot every N cycles (0 disables; results identical either way)")
 		ckDir    = flag.String("checkpoint-dir", "", "directory for checkpoint files (with -checkpoint-stride; keeps the whole trail)")
 		restore  = flag.String("restore", "", "resume from this checkpoint file instead of cycle 0 (the run must match the checkpoint's workload and config exactly)")
@@ -170,6 +172,7 @@ func main() {
 	cfg.InvariantStride = *invar
 	cfg.SMWorkers = *smw
 	cfg.NoFastForward = *noFF
+	cfg.NoMemSleep = *noMemSlp
 	cfg.CheckpointStride = *ckStride
 	if *bisect && cfg.CheckpointStride <= 0 {
 		cfg.CheckpointStride = 5000
@@ -224,6 +227,9 @@ func main() {
 		res := r.DoCtx(ctx, runner.Job{Workload: spec.Name, Config: cfg, Scale: *scale})
 		fatalSim(res.Err)
 		fmt.Print(res.Stats.Report())
+		if *verbose {
+			fmt.Print(res.Stats.MemReport())
+		}
 		fmt.Printf("result source: %s\n", res.Tier)
 		if *verify && res.Tier == runner.Simulated {
 			fmt.Println("functional check: ok")
@@ -235,6 +241,9 @@ func main() {
 	g, err := sim.RunCtx(ctx, inst.Launch)
 	fatalSim(err)
 	fmt.Print(g.Report())
+	if *verbose {
+		fmt.Print(g.MemReport())
+	}
 
 	if *verify && inst.Check != nil {
 		if err := inst.Check(sim.Mem); err != nil {

@@ -291,6 +291,18 @@ type Config struct {
 	// sim-v1 result fingerprint; it exists as a determinism escape hatch
 	// (GPUSHARE_NOSMSLEEP=1) and for the equivalence regression tests.
 	NoSMSleep bool `json:"-"`
+
+	// NoMemSleep disables the event-driven memory tick: normally memory
+	// partitions with no due work (no deliverable request, no
+	// schedulable or completing DRAM command, no matured L2 hit) are
+	// skipped via memoized next-work horizons, and when every partition
+	// is idle the whole memory tick early-outs in O(1). The skip is
+	// exact — horizons are maintained at every state change and every
+	// counter is event-derived — so like NoSMSleep this is an engine
+	// knob excluded from the canonical configuration and the sim-v1
+	// result fingerprint; it exists as a determinism escape hatch
+	// (GPUSHARE_NOMEMSLEEP=1) and for the equivalence regression tests.
+	NoMemSleep bool `json:"-"`
 }
 
 // Default returns the Table I baseline configuration.

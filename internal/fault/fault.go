@@ -34,6 +34,7 @@ const (
 	CrashAfterDispatch        // the gsched coordinator dies between dispatching a job to a worker and recording the ack
 	HeartbeatBlackhole        // a network partition: the worker stays alive but every coordinator probe to it is dropped
 	MissedWake                // a sleeping SM's wake cycle is pushed past its true horizon: the sleep skips live work
+	MissedMemWake             // a memory partition's next-work cycle is pushed past its true horizon: the skip swallows live work
 )
 
 func (k Kind) String() string {
@@ -62,6 +63,8 @@ func (k Kind) String() string {
 		return "heartbeat-blackhole"
 	case MissedWake:
 		return "missed-wake"
+	case MissedMemWake:
+		return "missed-mem-wake"
 	}
 	return "none"
 }

@@ -21,6 +21,15 @@ func envNoSMSleep() bool {
 	return v != "" && v != "0"
 }
 
+// envNoMemSleep reads GPUSHARE_NOMEMSLEEP: any value other than empty
+// or "0" disables the event-driven memory tick, exactly like
+// Config.NoMemSleep. Read per run, not once, so tests can flip it with
+// t.Setenv.
+func envNoMemSleep() bool {
+	v := os.Getenv("GPUSHARE_NOMEMSLEEP")
+	return v != "" && v != "0"
+}
+
 // missedWakeSlack is how far a MissedWake fault pushes a sleeping SM's
 // wake cycle past its true horizon: long enough that the skipped range
 // provably contains live work (a writeback deadline), short enough

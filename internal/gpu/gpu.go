@@ -98,6 +98,21 @@ func (s *Sim) engineOpts() engineOpts {
 	return engineOpts{sleep: sleep, ms: s.ms, faults: s.Faults, trace: s.SleepTrace}
 }
 
+// armMemSleep arms (or disarms) the event-driven memory tick for this
+// run: on unless the NoMemSleep knob or its escape hatch is set, or a
+// fault plan other than MissedMemWake is armed (fault trips count
+// opportunities, so skipping partition ticks would change which event
+// is corrupted). Unlike per-SM sleep, dynamic warp execution does not
+// disable it — the memory system consumes no randomness, so its idle
+// cycles are provably workless regardless of the issue gate. Called at
+// run start, after any checkpoint restore; the memoized horizons are
+// derived fresh by the first memory tick either way.
+func (s *Sim) armMemSleep() {
+	on := !s.Cfg.NoMemSleep && !envNoMemSleep() &&
+		(s.Faults == nil || s.Faults.Kind == fault.MissedMemWake)
+	s.ms.SetEventDriven(on, s.Faults)
+}
+
 // envInvariantStride reads GPUSHARE_INVARIANT_STRIDE: a positive
 // integer turns invariant auditing on for every run whose configuration
 // leaves InvariantStride at 0 (used by tools/check.sh to run the whole
@@ -258,6 +273,7 @@ func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) 
 	eng := newCycleEngine(sms, workers, s.engineOpts())
 	defer eng.close()
 	chk.SetSleepSource(eng)
+	s.armMemSleep()
 
 	// Idle fast-forward (see DESIGN.md): after a quiet cycle — no issue,
 	// no launch — one more cycle is simulated normally as the "model"
@@ -405,7 +421,8 @@ func (s *Sim) RunCtx(ctx context.Context, l *kernel.Launch) (*stats.GPU, error) 
 			// nothing the skip could have exploited happens before h,
 			// so don't recompute the horizon until then (quiet cycles
 			// under heavy memory traffic would otherwise pay the
-			// horizon walk every cycle for no jump).
+			// per-SM horizon walk every cycle for no jump — the
+			// memory-side bound itself is memoized and O(1)).
 			h := s.eventHorizon(now, sms, eng, &pending, stride, ckStride, tracing, lastProgress, window, maxCycles)
 			if h > now+2 {
 				if ffSnap == nil {
@@ -483,6 +500,11 @@ func (s *Sim) traceSnapshot(now int64, sms []*smcore.SM, nextCTA, grid int) {
 // (its local horizon combined with the earliest deliverable reply,
 // kept current by the reply observer), already memoized — so on a
 // mostly-asleep machine the per-SM wheel scans collapse to O(1) reads.
+// The memory-side bound is memoized the same way: ms.NextEvent reads
+// the event-driven tick's partition horizons (their minimum plus the
+// reply network's cached next-ready) instead of walking every DRAM
+// queue and interconnect port, so arming the horizon is O(1) amortized
+// on the memory side too.
 func (s *Sim) eventHorizon(now int64, sms []*smcore.SM, eng *cycleEngine, pending *launchQueue,
 	stride, ckStride int64, tracing bool, lastProgress, window, maxCycles int64) int64 {
 	h := s.ms.NextEvent(now)

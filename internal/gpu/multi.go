@@ -214,6 +214,7 @@ func (s *Sim) runPlaced(ctx context.Context, spec *tenancy.Spec, launches []*ker
 	eng := newCycleEngine(sms, workers, s.engineOpts())
 	defer eng.close()
 	chk.SetSleepSource(eng)
+	s.armMemSleep()
 
 	var now int64
 	for now = startAt; ; now++ {
@@ -413,6 +414,10 @@ func (s *Sim) runTimeSlice(ctx context.Context, spec *tenancy.Spec, launches []*
 		startTi = st.Tenant
 		rs = p
 	}
+
+	// The memory system persists across slices (one arming covers the
+	// whole run); each slice's first memory tick derives fresh horizons.
+	s.armMemSleep()
 
 	now := int64(0)
 	for ti := startTi; remaining > 0; ti = (ti + 1) % n {

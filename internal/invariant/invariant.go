@@ -18,7 +18,7 @@ import (
 )
 
 // Class selects which invariant families the checker audits.
-type Class uint8
+type Class uint16
 
 const (
 	ClassSharing    Class = 1 << iota // register/scratchpad lease accounting
@@ -29,8 +29,9 @@ const (
 	ClassSnapshot                     // cached warp snapshots and ready sets match a recompute
 	ClassTenancy                      // tenant isolation: slot ownership, pair locality, cap ledgers
 	ClassSleep                        // sleeping SMs really have no issueable warp and a sound wake cycle
+	ClassMemIdle                      // skipped memory partitions really have no due work: memoized horizons match scan recomputes
 
-	ClassAll = ClassSharing | ClassBarrier | ClassScoreboard | ClassSIMT | ClassMemory | ClassSnapshot | ClassTenancy | ClassSleep
+	ClassAll = ClassSharing | ClassBarrier | ClassScoreboard | ClassSIMT | ClassMemory | ClassSnapshot | ClassTenancy | ClassSleep | ClassMemIdle
 )
 
 // String names the classes in a mask, for error messages.
@@ -43,6 +44,7 @@ func (c Class) String() string {
 		{ClassSharing, "sharing"}, {ClassBarrier, "barrier"},
 		{ClassScoreboard, "scoreboard"}, {ClassSIMT, "simt"}, {ClassMemory, "memory"},
 		{ClassSnapshot, "snapshot"}, {ClassTenancy, "tenancy"}, {ClassSleep, "sleep"},
+		{ClassMemIdle, "mem-idle"},
 	} {
 		if c&e.bit != 0 {
 			parts = append(parts, e.name)
@@ -121,6 +123,15 @@ func (c *Checker) Check(now int64) error {
 	if c.classes&ClassSleep != 0 && c.src != nil {
 		if sm, err := c.auditSleep(now); err != nil {
 			return c.violation(now, sm, err)
+		}
+	}
+	if c.classes&ClassMemIdle != 0 {
+		// No-op on a straight-through memory system; when event-driven,
+		// every memoized horizon must equal a from-scratch recompute —
+		// the proof that each skipped partition/cycle really was
+		// workless. This is what catches a MissedMemWake fault promptly.
+		if err := c.ms.AuditMemIdle(now); err != nil {
+			return c.violation(now, -1, err)
 		}
 	}
 	return nil

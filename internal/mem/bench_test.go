@@ -10,7 +10,9 @@ import (
 // steady stream of read traffic: each iteration injects one read from a
 // rotating SM at a striding line address (so DRAM banks, L2 sets, and
 // both interconnect directions stay busy), ticks the system once, and
-// drains any ready replies.
+// drains any ready replies. Requests come from and return to the
+// line-request pool, exactly as the SM cores use it, so the reported
+// allocations are the memory system's own.
 func BenchmarkMemSystemTick(b *testing.B) {
 	cfg := config.Default()
 	s := NewSystem(&cfg)
@@ -19,16 +21,81 @@ func BenchmarkMemSystemTick(b *testing.B) {
 	var now int64
 	addr := uint32(0)
 	for i := 0; i < b.N; i++ {
-		sm := int(now) % cfg.NumSMs
-		s.Send(&LineRequest{LineAddr: addr, SM: sm}, now)
+		req := GetLineRequest()
+		req.LineAddr, req.SM = addr, int(now)%cfg.NumSMs
+		s.Send(req, now)
 		addr += uint32(cfg.L1LineSz)
 		if addr >= 1<<24 {
 			addr = 0
 		}
 		s.Tick(now)
 		for p := 0; p < cfg.NumSMs; p++ {
-			s.PopReply(p, now)
+			if r := s.PopReply(p, now); r != nil {
+				PutLineRequest(r)
+			}
 		}
 		now++
 	}
+}
+
+// BenchmarkMemSystemTickIdle measures the cost of a memory-system cycle
+// with traffic in flight but nothing due: a burst of L2-hitting reads
+// is injected so every partition holds pending replies maturing ~160
+// cycles out, then the benchmark ticks through the idle window. The
+// event-driven tick (sleep) pays one memoized comparison per cycle; the
+// straight-through tick (nosleep) walks every partition. This is the
+// dominant regime for compute-bound kernels, where the memory system is
+// armed but idle for almost every cycle.
+func BenchmarkMemSystemTickIdle(b *testing.B) {
+	run := func(b *testing.B, eventDriven bool) {
+		cfg := config.Default()
+		s := NewSystem(&cfg)
+		s.SetEventDriven(eventDriven, nil)
+		// Warm the L2 so the idle-window traffic hits: each partition
+		// caches one line per SM.
+		var now int64
+		warm := func() {
+			for sm := 0; sm < cfg.NumSMs; sm++ {
+				for pi := 0; pi < cfg.L2Partitions; pi++ {
+					req := GetLineRequest()
+					req.LineAddr = uint32((sm*cfg.L2Partitions + pi) * 128)
+					req.SM = sm
+					s.Send(req, now)
+				}
+			}
+			for !s.Drained() {
+				s.Tick(now)
+				for p := 0; p < cfg.NumSMs; p++ {
+					if r := s.PopReply(p, now); r != nil {
+						PutLineRequest(r)
+					}
+				}
+				now++
+			}
+		}
+		warm()
+		b.ReportAllocs()
+		b.ResetTimer()
+		const window = 128 // idle cycles per injected burst
+		for i := 0; i < b.N; i += window {
+			// One L2-hitting read per partition: the replies mature
+			// after the hit latency, leaving the window in between
+			// provably workless.
+			for pi := 0; pi < cfg.L2Partitions; pi++ {
+				req := GetLineRequest()
+				req.LineAddr = uint32(pi * 128)
+				req.SM = 0
+				s.Send(req, now)
+			}
+			for w := 0; w < window; w++ {
+				s.Tick(now)
+				if r := s.PopReply(0, now); r != nil {
+					PutLineRequest(r)
+				}
+				now++
+			}
+		}
+	}
+	b.Run("sleep", func(b *testing.B) { run(b, true) })
+	b.Run("nosleep", func(b *testing.B) { run(b, false) })
 }

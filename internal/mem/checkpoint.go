@@ -2,6 +2,7 @@ package mem
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"gpushare/internal/mem/cache"
@@ -41,12 +42,20 @@ type PendingCheckpoint struct {
 	Req LineReqCheckpoint `json:"req"`
 }
 
-// PartitionCheckpoint is one memory partition's complete state.
+// PartitionCheckpoint is one memory partition's complete state. The
+// observability counters ride along so a restored run reproduces the
+// straight-through statistics byte-for-byte; the event-driven horizon
+// memos deliberately do not — they are derived state, re-derived by the
+// first Tick after restore.
 type PartitionCheckpoint struct {
-	L2      cache.Checkpoint      `json:"l2"`
-	MSHR    []MSHREntryCheckpoint `json:"mshr"` // sorted by line address
-	Pending []PendingCheckpoint   `json:"pending"`
-	DRAM    dram.Checkpoint       `json:"dram"`
+	L2            cache.Checkpoint      `json:"l2"`
+	MSHR          []MSHREntryCheckpoint `json:"mshr"` // sorted by line address
+	Pending       []PendingCheckpoint   `json:"pending"`
+	DRAM          dram.Checkpoint       `json:"dram"`
+	BusyCycles    int64                 `json:"busy_cycles"`
+	DRAMQueuePeak int                   `json:"dram_queue_peak"`
+	MSHRPeak      int                   `json:"mshr_peak"`
+	PendingPeak   int                   `json:"pending_peak"`
 }
 
 // SystemCheckpoint is the memory system's complete mutable state.
@@ -101,8 +110,12 @@ func (s *System) Checkpoint() SystemCheckpoint {
 	}
 	for pi, p := range s.partitions {
 		pc := PartitionCheckpoint{
-			L2:   p.l2.Checkpoint(),
-			DRAM: p.dram.Checkpoint(),
+			L2:            p.l2.Checkpoint(),
+			DRAM:          p.dram.Checkpoint(),
+			BusyCycles:    p.busy,
+			DRAMQueuePeak: p.dramPeak,
+			MSHRPeak:      p.mshrPeak,
+			PendingPeak:   p.pendPeak,
 		}
 		addrs := make([]uint32, 0, len(p.mshr))
 		for addr := range p.mshr {
@@ -191,7 +204,16 @@ func (s *System) RestoreState(c SystemCheckpoint) error {
 		if tagErr != nil {
 			return tagErr
 		}
+		p.busy = pc.BusyCycles
+		p.dramPeak = pc.DRAMQueuePeak
+		p.mshrPeak = pc.MSHRPeak
+		p.pendPeak = pc.PendingPeak
+		// The event-driven horizon memo is derived state a checkpoint
+		// never carries: mark it "not yet derived" so the first Tick
+		// after restore walks this partition and re-derives it fresh.
+		p.nextAt = math.MinInt64
 	}
+	s.nextAt = math.MinInt64
 	return nil
 }
 

@@ -80,5 +80,6 @@ func (c *Channel) RestoreState(s Checkpoint, makeTag func(RequestCheckpoint) any
 		c.inflight = append(c.inflight, r)
 	}
 	c.Stats = s.Stats
+	c.memoOK = false // the next-event memo is derived state, never serialized
 	return nil
 }

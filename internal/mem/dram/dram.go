@@ -51,6 +51,16 @@ type Channel struct {
 	rowBytes int64
 	dataLat  int64
 	Stats    stats.DRAM
+
+	// memoNext caches the channel's next event time as an absolute
+	// cycle (math.MaxInt64 when empty), valid while memoOK. Bank state
+	// is frozen between scheduled commands, so the memo only goes stale
+	// when a command issues or a transfer completes — both invalidate
+	// it for a lazy rescan — while an enqueue folds the new request's
+	// schedulable time in incrementally. NextEvent is therefore O(1)
+	// amortized on idle channels instead of a per-call queue walk.
+	memoNext int64
+	memoOK   bool
 }
 
 // NewChannel returns a channel with the given bank count and timing.
@@ -79,7 +89,31 @@ func (c *Channel) rowOf(addr uint32) int64 {
 }
 
 // Enqueue adds a request to the channel queue.
-func (c *Channel) Enqueue(r *Request) { c.queue = append(c.queue, r) }
+func (c *Channel) Enqueue(r *Request) {
+	if c.memoOK {
+		if at := c.schedulableAt(r); at < c.memoNext {
+			c.memoNext = at
+		}
+	}
+	c.queue = append(c.queue, r)
+}
+
+// schedulableAt returns the earliest cycle r could be scheduled under
+// the current (frozen) bank state, unclamped.
+func (c *Channel) schedulableAt(r *Request) int64 {
+	b := &c.banks[c.bankOf(r.Addr)]
+	at := r.Arrive
+	if b.readyAt > at {
+		at = b.readyAt
+	}
+	if b.openRow != c.rowOf(r.Addr) {
+		// Needs an activate, gated by the row-cycle time.
+		if t := b.lastActivate + int64(c.timing.TRC); t > at {
+			at = t
+		}
+	}
+	return at
+}
 
 // Pending returns the number of queued plus in-flight requests.
 func (c *Channel) Pending() int { return len(c.queue) + len(c.inflight) }
@@ -103,6 +137,9 @@ func (c *Channel) Tick(now int64) []*Request {
 		i++
 	}
 	c.doneBuf = done
+	if len(done) > 0 {
+		c.memoOK = false // a completion may have been the memoized event
+	}
 	return done
 }
 
@@ -112,35 +149,52 @@ func (c *Channel) Tick(now int64) []*Request {
 // current (frozen) bank state. Returns math.MaxInt64 when the channel is
 // empty. Exact, not merely conservative: bank state only changes when a
 // command is scheduled, so between now and the returned cycle every Tick
-// is a no-op.
+// is a no-op. Amortized O(1): the queue walk only re-runs after a
+// command issue or completion invalidated the memo.
 func (c *Channel) NextEvent(now int64) int64 {
+	if !c.memoOK {
+		c.memoNext = c.nextEventAbs()
+		c.memoOK = true
+	}
+	at := c.memoNext
+	if at == math.MaxInt64 {
+		return at
+	}
+	if at <= now {
+		return now + 1
+	}
+	return at
+}
+
+// nextEventAbs recomputes the next event time by walking the in-flight
+// and queued requests, unclamped (math.MaxInt64 when empty).
+func (c *Channel) nextEventAbs() int64 {
 	next := int64(math.MaxInt64)
-	clamp := func(at int64) {
-		if at <= now {
-			at = now + 1
+	for _, r := range c.inflight {
+		if r.Done < next {
+			next = r.Done
 		}
-		if at < next {
+	}
+	for _, r := range c.queue {
+		if at := c.schedulableAt(r); at < next {
 			next = at
 		}
 	}
-	for _, r := range c.inflight {
-		clamp(r.Done)
-	}
-	for _, r := range c.queue {
-		b := &c.banks[c.bankOf(r.Addr)]
-		at := r.Arrive
-		if b.readyAt > at {
-			at = b.readyAt
-		}
-		if b.openRow != c.rowOf(r.Addr) {
-			// Needs an activate, gated by the row-cycle time.
-			if t := b.lastActivate + int64(c.timing.TRC); t > at {
-				at = t
-			}
-		}
-		clamp(at)
-	}
 	return next
+}
+
+// NextEventScan is NextEvent computed by a full walk, bypassing the
+// memo. The invariant auditor and the horizon property tests use it as
+// the ground truth the memoized value must equal.
+func (c *Channel) NextEventScan(now int64) int64 {
+	at := c.nextEventAbs()
+	if at == math.MaxInt64 {
+		return at
+	}
+	if at <= now {
+		return now + 1
+	}
+	return at
 }
 
 func (c *Channel) scheduleOne(now int64) {
@@ -178,6 +232,7 @@ func (c *Channel) scheduleOne(now int64) {
 	if pick < 0 {
 		return
 	}
+	c.memoOK = false // bank state is about to change
 	r := c.queue[pick]
 	c.queue = append(c.queue[:pick], c.queue[pick+1:]...)
 	b := &c.banks[c.bankOf(r.Addr)]

@@ -3,7 +3,10 @@
 // delivery and a configurable per-cycle ejection bandwidth.
 package icnt
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Packet is one message in flight.
 type Packet struct {
@@ -53,17 +56,35 @@ func (r *ring) pop() any {
 type Network struct {
 	latency int64
 	ports   []ring
+
+	// memoNext caches the minimum front readyAt across all ports as an
+	// absolute cycle (math.MaxInt64 when empty), so NextReady is O(1)
+	// between deliveries. The memo is maintained incrementally: a push
+	// onto an empty port can only lower the minimum (a push onto a
+	// non-empty port lands behind a front with an earlier-or-equal
+	// readyAt, since readyAt is nondecreasing per port), while a pop
+	// can only raise it, which marks the memo dirty for a lazy rescan.
+	// memoDirty is atomic because reply-network Pops run concurrently
+	// (one SM worker per port); pushes and the NextReady rescan run on
+	// the main goroutine only, between cycle barriers.
+	memoNext  int64
+	memoDirty atomic.Bool
 }
 
 // New returns a network with the given number of destination ports and a
 // fixed traversal latency in cycles.
 func New(ports int, latency int) *Network {
-	return &Network{latency: int64(latency), ports: make([]ring, ports)}
+	return &Network{latency: int64(latency), ports: make([]ring, ports), memoNext: math.MaxInt64}
 }
 
 // Push injects a packet toward dst at time now.
 func (n *Network) Push(dst int, payload any, now int64) {
-	n.ports[dst].push(Packet{Payload: payload, readyAt: now + n.latency})
+	q := &n.ports[dst]
+	at := now + n.latency
+	if q.n == 0 && at < n.memoNext {
+		n.memoNext = at
+	}
+	q.push(Packet{Payload: payload, readyAt: at})
 }
 
 // Pop removes and returns the payload of the oldest packet at dst whose
@@ -71,11 +92,17 @@ func (n *Network) Push(dst int, payload any, now int64) {
 //
 // Concurrent Pops on distinct ports are safe: each port is
 // self-contained state. The parallel cycle engine relies on this to let
-// every SM drain its own reply port during a parallel cycle.
+// every SM drain its own reply port during a parallel cycle; the
+// NextReady memo is only marked dirty here (an atomic flag, stored
+// only when not already set, so the shared line stays read-mostly),
+// never recomputed.
 func (n *Network) Pop(dst int, now int64) any {
 	q := &n.ports[dst]
 	if q.n == 0 || q.front().readyAt > now {
 		return nil
+	}
+	if !n.memoDirty.Load() {
+		n.memoDirty.Store(true)
 	}
 	return q.pop()
 }
@@ -85,22 +112,53 @@ func (n *Network) Pop(dst int, now int64) any {
 // that is already deliverable (held back only by the one-per-cycle
 // ejection bandwidth) reports now+1. Used by the idle fast-forward to
 // bound its jump: the network cannot act before the returned cycle.
+//
+// Amortized O(1): the port scan only happens after a delivery dirtied
+// the memo; between deliveries (exactly the idle spans the fast-forward
+// probes every quiet cycle) this is a clamp on a cached minimum.
 func (n *Network) NextReady(now int64) int64 {
+	if n.memoDirty.Load() {
+		n.memoNext = n.nextReadyAbs()
+		n.memoDirty.Store(false)
+	}
+	at := n.memoNext
+	if at == math.MaxInt64 {
+		return at
+	}
+	if at <= now {
+		return now + 1
+	}
+	return at
+}
+
+// nextReadyAbs recomputes the minimum front readyAt across all ports,
+// unclamped (math.MaxInt64 when empty).
+func (n *Network) nextReadyAbs() int64 {
 	next := int64(math.MaxInt64)
 	for i := range n.ports {
 		q := &n.ports[i]
 		if q.n == 0 {
 			continue
 		}
-		at := q.front().readyAt
-		if at <= now {
-			at = now + 1
-		}
-		if at < next {
+		if at := q.front().readyAt; at < next {
 			next = at
 		}
 	}
 	return next
+}
+
+// NextReadyScan is NextReady computed by a full port scan, bypassing
+// the memo. The invariant auditor and the horizon property tests use it
+// as the ground truth the memoized value must equal.
+func (n *Network) NextReadyScan(now int64) int64 {
+	at := n.nextReadyAbs()
+	if at == math.MaxInt64 {
+		return at
+	}
+	if at <= now {
+		return now + 1
+	}
+	return at
 }
 
 // NextReadyPort is NextReady for a single destination port: the

@@ -120,6 +120,10 @@ type Server struct {
 	queue    chan *job
 	draining bool
 	killed   bool
+	// memAgg folds the per-partition memory counters of every job this
+	// process simulated to completion (guarded by mu); /statusz serves
+	// it once the first contribution lands.
+	memAgg MemStatus
 
 	wg    sync.WaitGroup
 	start time.Time
@@ -293,6 +297,9 @@ func (s *Server) runJob(jb *job) {
 	s.mu.Lock()
 	jb.res = res
 	jb.state = state
+	if state == StateDone && res.Stats != nil && res.Tier == runner.Simulated {
+		s.memAgg.add(res.Stats.MemParts)
+	}
 	s.mu.Unlock()
 	if s.jl != nil && state != StateCanceled {
 		// Canceled jobs stay pending in the journal on purpose: their
@@ -626,6 +633,11 @@ func (s *Server) statusz() Statusz {
 		state = "dead"
 	}
 	depth := len(s.queue)
+	var mem *MemStatus
+	if s.memAgg.Jobs > 0 {
+		m := s.memAgg
+		mem = &m
+	}
 	s.mu.Unlock()
 
 	var jl *JournalStatus
@@ -651,5 +663,6 @@ func (s *Server) statusz() Statusz {
 		Panics:           s.panics.Load(),
 		JobStates:        states,
 		Runner:           s.r.Counters(),
+		Mem:              mem,
 	}
 }

@@ -103,6 +103,15 @@ func TestSubmitWaitRoundTripAndDedup(t *testing.T) {
 	if sz.Accepted < 1 || sz.Deduped < 1 || sz.Runner.Simulated != 1 {
 		t.Fatalf("statusz = %+v, want accepted/deduped/simulated counted", sz)
 	}
+	// The completed simulation must surface the memory-system aggregate:
+	// exactly one contributing job, with its partitions' busy cycles and
+	// queue high-water marks folded in.
+	if sz.Mem == nil {
+		t.Fatal("statusz.mem absent after a completed simulation")
+	}
+	if sz.Mem.Jobs != 1 || sz.Mem.BusyCycles <= 0 || sz.Mem.DRAMQueuePeak <= 0 {
+		t.Fatalf("statusz.mem = %+v, want one job with busy cycles and DRAM queue peaks", sz.Mem)
+	}
 
 	var apiErr *client.APIError
 	if _, err := c.Get(ctx, "no-such-key"); !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusNotFound {

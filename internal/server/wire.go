@@ -128,6 +128,50 @@ type JournalStatus struct {
 	Compactions int64  `json:"compactions"`
 }
 
+// MemStatus aggregates the per-partition memory-system counters of
+// every job this process simulated to completion: L2 traffic, DRAM row
+// locality, and busy cycles are summed across partitions and jobs; the
+// queue-occupancy high-water marks are maxima over all of them. Cache
+// hits contribute nothing (their memory system never ran here), so the
+// section measures this daemon's own simulation load.
+type MemStatus struct {
+	Jobs          int64 `json:"jobs"` // completed simulations contributing below
+	BusyCycles    int64 `json:"busy_cycles"`
+	L2Hits        int64 `json:"l2_hits"`
+	L2Misses      int64 `json:"l2_misses"`
+	DRAMRowHits   int64 `json:"dram_row_hits"`
+	DRAMRowMisses int64 `json:"dram_row_misses"`
+	DRAMQueuePeak int   `json:"dram_queue_peak"`
+	MSHRPeak      int   `json:"mshr_peak"`
+	PendingPeak   int   `json:"pending_peak"`
+}
+
+// add folds one completed job's per-partition breakdown into the
+// process-lifetime aggregate.
+func (m *MemStatus) add(parts []stats.MemPartition) {
+	if len(parts) == 0 {
+		return
+	}
+	m.Jobs++
+	for i := range parts {
+		p := &parts[i]
+		m.BusyCycles += p.BusyCycles
+		m.L2Hits += p.L2.Hits
+		m.L2Misses += p.L2.Misses
+		m.DRAMRowHits += p.DRAM.RowHits
+		m.DRAMRowMisses += p.DRAM.RowMisses
+		if p.DRAMQueuePeak > m.DRAMQueuePeak {
+			m.DRAMQueuePeak = p.DRAMQueuePeak
+		}
+		if p.MSHRPeak > m.MSHRPeak {
+			m.MSHRPeak = p.MSHRPeak
+		}
+		if p.PendingPeak > m.PendingPeak {
+			m.PendingPeak = p.PendingPeak
+		}
+	}
+}
+
 // Statusz is the GET /statusz introspection snapshot. Runner carries
 // the checkpoint counters (CkSaved/CkRestored) alongside the cache and
 // simulation totals; Journal is present only when the WAL is enabled.
@@ -153,4 +197,5 @@ type Statusz struct {
 
 	JobStates map[string]int  `json:"job_states"`
 	Runner    runner.Counters `json:"runner"`
+	Mem       *MemStatus      `json:"mem,omitempty"` // absent until a simulation completes here
 }

@@ -247,6 +247,20 @@ func (d *DRAM) Add(other *DRAM) {
 	d.RowMisses += other.RowMisses
 }
 
+// MemPartition is one memory partition's breakdown: its own L2 and
+// DRAM counters plus the busy/idle split and queue high-water marks.
+// Every counter is event-derived, so the values are identical whether
+// the simulator ticked idle memory cycles or skipped them.
+type MemPartition struct {
+	L2   Cache
+	DRAM DRAM
+
+	BusyCycles    int64 // cycles the partition processed at least one event
+	DRAMQueuePeak int   // high-water mark of DRAM queued + in-flight requests
+	MSHRPeak      int   // high-water mark of outstanding L2-MSHR lines
+	PendingPeak   int   // high-water mark of L2 hits serving their hit latency
+}
+
 // GPU aggregates the whole run.
 type GPU struct {
 	Cycles int64 // GPU cycles from launch to grid completion
@@ -264,6 +278,12 @@ type GPU struct {
 	// encoding byte-identical to pre-tenancy revisions, so existing
 	// cache entries and determinism witnesses stay valid.
 	Tenants []Tenant `json:",omitempty"`
+
+	// MemParts carries the per-partition memory breakdown, in partition
+	// order. The omitempty tag keeps serializations produced by older
+	// revisions decodable and the canonical encoding stable for runs
+	// that never collected it.
+	MemParts []MemPartition `json:",omitempty"`
 }
 
 // TotalThreadInstrs sums thread instructions over all SMs.
@@ -398,6 +418,25 @@ func (g *GPU) Merge(other *GPU) {
 			m.MaxResidentTB = o.MaxResidentTB
 		}
 	}
+	for i := range other.MemParts {
+		if i == len(g.MemParts) {
+			g.MemParts = append(g.MemParts, MemPartition{})
+		}
+		m := &g.MemParts[i]
+		o := &other.MemParts[i]
+		m.L2.Add(&o.L2)
+		m.DRAM.Add(&o.DRAM)
+		m.BusyCycles += o.BusyCycles
+		if o.DRAMQueuePeak > m.DRAMQueuePeak {
+			m.DRAMQueuePeak = o.DRAMQueuePeak
+		}
+		if o.MSHRPeak > m.MSHRPeak {
+			m.MSHRPeak = o.MSHRPeak
+		}
+		if o.PendingPeak > m.PendingPeak {
+			m.PendingPeak = o.PendingPeak
+		}
+	}
 }
 
 // PercentChange returns (new-old)/old*100, or 0 when old is 0.
@@ -440,6 +479,33 @@ func (g *GPU) Report() string {
 	if locks > 0 || xfers > 0 {
 		fmt.Fprintf(&b, "lock acquires     %12d\n", locks)
 		fmt.Fprintf(&b, "ownership xfers   %12d\n", xfers)
+	}
+	return b.String()
+}
+
+// MemReport renders the per-partition memory breakdown (row locality,
+// busy share of the run, queue high-water marks), or "" when the run
+// carried none. gsim prints it under -v.
+func (g *GPU) MemReport() string {
+	if len(g.MemParts) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "memory partitions (busy share of %d cycles)\n", g.Cycles)
+	fmt.Fprintf(&b, "  part  busy%%   row hit%%   L2 miss%%   dramQ^  mshr^  pend^\n")
+	for i := range g.MemParts {
+		p := &g.MemParts[i]
+		busyPct := 0.0
+		if g.Cycles > 0 {
+			busyPct = float64(p.BusyCycles) / float64(g.Cycles) * 100
+		}
+		rowPct := 0.0
+		if cmds := p.DRAM.RowHits + p.DRAM.RowMisses; cmds > 0 {
+			rowPct = float64(p.DRAM.RowHits) / float64(cmds) * 100
+		}
+		fmt.Fprintf(&b, "  %4d  %5.1f  %9.1f  %9.1f  %6d  %5d  %5d\n",
+			i, busyPct, rowPct, p.L2.MissRate()*100,
+			p.DRAMQueuePeak, p.MSHRPeak, p.PendingPeak)
 	}
 	return b.String()
 }

@@ -35,12 +35,12 @@ fi
 out=$(mktemp)
 trap 'rm -f "$out"' EXIT
 
-echo "== microbenchmarks (smcore SM tick, scheduler ranking, mem system tick, checkpoint roundtrip)"
-go test -run '^$' -bench 'BenchmarkSMTick$|BenchmarkSMTickManyWarps$|BenchmarkSchedOrder$|BenchmarkMemSystemTick$|BenchmarkCheckpointRoundtrip$' \
+echo "== microbenchmarks (smcore SM tick, scheduler ranking, mem system tick + idle window, checkpoint roundtrip)"
+go test -run '^$' -bench 'BenchmarkSMTick$|BenchmarkSMTickManyWarps$|BenchmarkSchedOrder$|BenchmarkMemSystemTick$|BenchmarkMemSystemTickIdle|BenchmarkCheckpointRoundtrip$' \
     -benchmem -benchtime "$microtime" ./internal/smcore/ ./internal/sched/ ./internal/mem/ ./internal/checkpoint/ | tee "$out"
 
-echo "== end-to-end engine (full hotspot simulation per op; two-tenant co-residency per op; blocked-heavy per-SM sleep per op)"
-go test -run '^$' -bench 'BenchmarkRunParallelSMs|BenchmarkCoResident|BenchmarkSMSleepMemBound' \
+echo "== end-to-end engine (full hotspot simulation per op; two-tenant co-residency per op; blocked-heavy per-SM sleep per op; compute-bound mem-sleep per op)"
+go test -run '^$' -bench 'BenchmarkRunParallelSMs|BenchmarkCoResident|BenchmarkSMSleepMemBound|BenchmarkComputeBound' \
     -benchmem -benchtime "$e2etime" -timeout 30m ./internal/gpu/ | tee -a "$out"
 
 # Normalize benchmark lines into "name ns b allocs" rows. Columns are
